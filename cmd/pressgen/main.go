@@ -1,0 +1,94 @@
+// Command pressgen generates a synthetic city road network and taxi-fleet
+// GPS workload — the substitute for the paper's proprietary Singapore
+// dataset. It writes three files into -out:
+//
+//	network.txt   road network (V/E records, see internal/roadnet)
+//	gps.txt       raw GPS trajectories (T/P records)
+//	trips.txt     ground-truth edge paths (S records), usable for training
+//
+// Example:
+//
+//	pressgen -out data -trips 500 -rows 15 -cols 15 -interval 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"press/internal/gen"
+	"press/internal/traj"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "data", "output directory")
+		trips    = flag.Int("trips", 200, "number of trajectories")
+		rows     = flag.Int("rows", 15, "city grid rows")
+		cols     = flag.Int("cols", 15, "city grid columns")
+		spacing  = flag.Float64("spacing", 200, "block size in meters")
+		interval = flag.Float64("interval", 30, "GPS sampling interval (s)")
+		noise    = flag.Float64("noise", 10, "GPS noise sigma (m)")
+		detour   = flag.Float64("detour", 0.08, "per-intersection detour probability")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opt := gen.Default(*trips)
+	opt.City.Rows, opt.City.Cols, opt.City.Spacing = *rows, *cols, *spacing
+	opt.City.Seed = *seed
+	opt.Trips.Seed = *seed + 1
+	opt.Trips.DetourProb = *detour
+	opt.GPS.Seed = *seed + 2
+	opt.GPS.SampleInterval = *interval
+	opt.GPS.NoiseSigma = *noise
+
+	ds, err := gen.Generate(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeFile(filepath.Join(*out, "network.txt"), func(f *os.File) error {
+		_, err := ds.Graph.WriteTo(f)
+		return err
+	}); err != nil {
+		fatal(err)
+	}
+	if err := writeFile(filepath.Join(*out, "gps.txt"), func(f *os.File) error {
+		return traj.WriteRaw(f, ds.Raws)
+	}); err != nil {
+		fatal(err)
+	}
+	if err := writeFile(filepath.Join(*out, "trips.txt"), func(f *os.File) error {
+		return traj.WritePaths(f, ds.Trips)
+	}); err != nil {
+		fatal(err)
+	}
+	var samples int
+	for _, r := range ds.Raws {
+		samples += len(r)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges, %d trajectories, %d GPS samples (%.1f MB raw)\n",
+		*out, ds.Graph.NumVertices(), ds.Graph.NumEdges(), len(ds.Raws), samples,
+		float64(ds.RawSizeBytes())/(1<<20))
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pressgen:", err)
+	os.Exit(1)
+}

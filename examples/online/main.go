@@ -1,0 +1,93 @@
+// Online compression: PRESS as a streaming compressor (§7.2: "the
+// compression procedure scans the spatial path and temporal sequence from
+// head to tail without tracing back... PRESS can be adapted to online
+// compression").
+//
+// A simulated vehicle reports its position live; the spatial stream is
+// SP-compressed and the temporal stream BTC-compressed on the fly, each
+// point decided the moment its window closes — no buffering of the whole
+// trajectory. The example verifies the streamed output equals the batch
+// output and respects the temporal error bounds.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"press"
+	"press/internal/core"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+func main() {
+	ds, err := press.GenerateDataset(press.DefaultDatasetOptions(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := spindex.NewTable(ds.Graph)
+
+	const tau, eta = 50.0, 30.0 // TSND meters, NSTD seconds
+
+	// Stream every trajectory through the online compressors.
+	var inEdges, outEdges, inTuples, outTuples int
+	for i, tr := range ds.Truth {
+		var spOut traj.Path
+		sp := core.NewOnlineSP(tab, func(e press.EdgeID) { spOut = append(spOut, e) })
+		for _, e := range tr.Path {
+			sp.Push(e) // one call per road segment the vehicle enters
+		}
+		sp.Flush()
+
+		var btcOut traj.Temporal
+		btc := core.NewOnlineBTC(tau, eta, func(p traj.Entry) { btcOut = append(btcOut, p) })
+		for _, p := range tr.Temporal {
+			btc.Push(p) // one call per GPS fix
+		}
+		btc.Flush()
+
+		// The stream must match the batch algorithms exactly.
+		if !spOut.Equal(core.SPCompress(tab, tr.Path)) {
+			log.Fatalf("trajectory %d: online SP diverged from batch", i)
+		}
+		batch := core.BTC(tr.Temporal, tau, eta)
+		if len(batch) != len(btcOut) {
+			log.Fatalf("trajectory %d: online BTC diverged from batch", i)
+		}
+		// And the hard error bounds must hold on the live stream.
+		if v := core.TSND(tr.Temporal, btcOut); v > tau+1e-6 {
+			log.Fatalf("trajectory %d: TSND %v exceeds %v", i, v, tau)
+		}
+		if v := core.NSTD(tr.Temporal, btcOut); v > eta+1e-6 {
+			log.Fatalf("trajectory %d: NSTD %v exceeds %v", i, v, eta)
+		}
+		inEdges += len(tr.Path)
+		outEdges += len(spOut)
+		inTuples += len(tr.Temporal)
+		outTuples += len(btcOut)
+	}
+	fmt.Printf("streamed %d live trajectories through online PRESS:\n", len(ds.Truth))
+	fmt.Printf("  spatial:  %4d edges in  -> %4d retained (SP ratio %.2f)\n",
+		inEdges, outEdges, float64(inEdges)/float64(outEdges))
+	fmt.Printf("  temporal: %4d tuples in -> %4d retained (BTC ratio %.2f, TSND<=%.0fm NSTD<=%.0fs)\n",
+		inTuples, outTuples, float64(inTuples)/float64(outTuples), tau, eta)
+	fmt.Println("  every stream verified identical to batch compression and within bounds")
+
+	// Show per-fix latency semantics on one trajectory: what the server has
+	// durable after each report.
+	tr := ds.Truth[0]
+	retained := 0
+	btc := core.NewOnlineBTC(tau, eta, func(traj.Entry) { retained++ })
+	fmt.Printf("\nlive feed of trajectory 0 (%d fixes):\n", len(tr.Temporal))
+	for k, p := range tr.Temporal {
+		btc.Push(p)
+		if k%5 == 0 {
+			fmt.Printf("  after fix %2d (t=%5.0fs, d=%6.0fm): %d tuples durable\n",
+				k, p.T, p.D, retained)
+		}
+	}
+	btc.Flush()
+	fmt.Printf("  stream closed: %d of %d tuples retained\n", retained, len(tr.Temporal))
+}

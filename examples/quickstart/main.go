@@ -1,0 +1,79 @@
+// Quickstart: the minimal end-to-end PRESS pipeline.
+//
+//	go run ./examples/quickstart
+//
+// Generates a small synthetic city and taxi fleet, trains the FST codebook,
+// compresses one GPS trajectory (map matching -> re-formatting -> HSC+BTC),
+// queries it without decompression, and verifies the lossless spatial
+// round-trip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"press"
+)
+
+func main() {
+	// 1. A road network and some GPS data. Real deployments load their own
+	// network and feed; here the built-in generator stands in for both.
+	ds, err := press.GenerateDataset(press.DefaultDatasetOptions(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d intersections, %d road segments\n",
+		ds.Graph.NumVertices(), ds.Graph.NumEdges())
+
+	// 2. Assemble the system: train the frequent-sub-trajectory codebook on
+	// half the fleet ("one day" in the paper), allow 50 m / 30 s temporal
+	// error.
+	cfg := press.DefaultConfig()
+	cfg.TSND = 50 // meters
+	cfg.NSTD = 30 // seconds
+	sys, err := press.NewSystem(ds.Graph, ds.Trips[:30], cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compress a raw GPS trajectory end to end.
+	raw := ds.Raws[45]
+	ct, err := sys.CompressGPS(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob := press.Marshal(ct)
+	fmt.Printf("trajectory: %d GPS samples, %d raw bytes -> %d compressed bytes (ratio %.2f)\n",
+		len(raw), raw.SizeBytes(), len(blob), float64(raw.SizeBytes())/float64(len(blob)))
+
+	// 4. Query the compressed form directly.
+	mid := raw[len(raw)/2].T
+	pos, err := sys.WhereAt(ct, mid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whereat(t=%.0fs) = %v (true GPS sample at %v)\n", mid, pos, raw[len(raw)/2].Pos)
+
+	when, err := sys.WhenAt(ct, pos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whenat(%v) = %.1fs\n", pos, when)
+
+	box := press.NewMBR(
+		press.Point{X: pos.X - 100, Y: pos.Y - 100},
+		press.Point{X: pos.X + 100, Y: pos.Y + 100})
+	hit, err := sys.Range(ct, raw[0].T, raw[len(raw)-1].T, box)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range(200m box around that point) = %v\n", hit)
+
+	// 5. Decompress: the spatial path is recovered exactly; the temporal
+	// sequence is within the configured bounds.
+	tr, err := sys.Decompress(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decompressed: %d edges, %d temporal tuples\n", len(tr.Path), len(tr.Temporal))
+}

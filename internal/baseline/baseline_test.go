@@ -1,0 +1,287 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"press/internal/gen"
+	"press/internal/geo"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+func fixture(t *testing.T) (*gen.Dataset, *spindex.Table) {
+	t.Helper()
+	opt := gen.Options{
+		City:  gen.CityOptions{Rows: 6, Cols: 6, Spacing: 180, PosJitter: 0.15, RemoveEdgeProb: 0.05, Seed: 14},
+		Trips: gen.DefaultTrips(12),
+		GPS:   gen.DefaultGPS(),
+	}
+	ds, err := gen.Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, spindex.NewTable(ds.Graph)
+}
+
+func TestUniformSample(t *testing.T) {
+	raw := make(traj.Raw, 10)
+	for i := range raw {
+		raw[i] = traj.RawPoint{Pos: geo.Point{X: float64(i)}, T: float64(i)}
+	}
+	out := UniformSample(raw, 3)
+	if out[0] != raw[0] || out[len(out)-1] != raw[9] {
+		t.Error("endpoints not kept")
+	}
+	if len(out) >= len(raw) {
+		t.Errorf("no reduction: %d", len(out))
+	}
+	if got := UniformSample(raw, 1); len(got) != len(raw) {
+		t.Error("k=1 should keep everything")
+	}
+	if got := UniformSample(raw[:2], 5); len(got) != 2 {
+		t.Error("short input mishandled")
+	}
+}
+
+func TestDouglasPeuckerBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		raw := randomRaw(rng, 60)
+		for _, eps := range []float64{5, 25, 100} {
+			kept := DouglasPeucker(raw, eps)
+			if got := TSED(raw, SimplifiedPosition(kept)); got > eps+1e-9 {
+				t.Fatalf("DP eps=%v: TSED=%v", eps, got)
+			}
+			if kept[0] != raw[0] || kept[len(kept)-1] != raw[len(raw)-1] {
+				t.Fatal("DP endpoints not kept")
+			}
+		}
+	}
+}
+
+func TestOpeningWindowBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		raw := randomRaw(rng, 60)
+		for _, eps := range []float64{5, 25, 100} {
+			kept := OpeningWindow(raw, eps)
+			if got := TSED(raw, SimplifiedPosition(kept)); got > eps+1e-9 {
+				t.Fatalf("OW eps=%v: TSED=%v", eps, got)
+			}
+		}
+	}
+}
+
+func TestSimplifiersMonotoneInEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	raw := randomRaw(rng, 100)
+	prevDP := len(raw) + 1
+	for _, eps := range []float64{1, 10, 50, 200} {
+		dp := len(DouglasPeucker(raw, eps))
+		// The opening window is not strictly monotone in eps; only DP is
+		// tracked, but both must stay error-bounded (covered above).
+		_ = len(OpeningWindow(raw, eps))
+		if dp > prevDP {
+			t.Errorf("DP kept more points at looser eps")
+		}
+		prevDP = dp
+	}
+}
+
+func randomRaw(rng *rand.Rand, n int) traj.Raw {
+	raw := make(traj.Raw, n)
+	x, y, tm := 0.0, 0.0, 0.0
+	for i := range raw {
+		x += rng.Float64()*100 - 20
+		y += rng.Float64()*100 - 20
+		tm += 5 + rng.Float64()*25
+		raw[i] = traj.RawPoint{Pos: geo.Point{X: x, Y: y}, T: tm}
+	}
+	return raw
+}
+
+func TestNonmaterialLosslessSpatial(t *testing.T) {
+	ds, _ := fixture(t)
+	nm := &Nonmaterial{G: ds.Graph}
+	for i, tr := range ds.Truth {
+		c, err := nm.Compress(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := c.Decompress()
+		if !back.Path.Equal(tr.Path) {
+			t.Fatalf("traj %d: spatial changed", i)
+		}
+		if err := back.Temporal.Validate(); err != nil {
+			t.Fatalf("traj %d: invalid temporal: %v", i, err)
+		}
+		// Crossing count equals intersections crossed (+ endpoints).
+		if len(c.Crossings) > len(tr.Path)+2 {
+			t.Fatalf("traj %d: too many crossings", i)
+		}
+	}
+}
+
+func TestNonmaterialEpsReducesCrossings(t *testing.T) {
+	ds, _ := fixture(t)
+	nm := &Nonmaterial{G: ds.Graph}
+	tight, loose := 0, 0
+	for _, tr := range ds.Truth {
+		c0, err := nm.Compress(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := nm.Compress(tr, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight += len(c0.Crossings)
+		loose += len(c1.Crossings)
+		if c1.SizeBytes() > c0.SizeBytes() {
+			t.Fatal("looser bound increased size")
+		}
+	}
+	if loose >= tight {
+		t.Errorf("eps=500 kept %d crossings vs %d at eps=0", loose, tight)
+	}
+}
+
+func TestNonmaterialPositionReasonable(t *testing.T) {
+	ds, _ := fixture(t)
+	nm := &Nonmaterial{G: ds.Graph}
+	for _, i := range []int{0, 3, 7} {
+		tr := ds.Truth[i]
+		c, err := nm.Compress(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At eps=0 the only temporal error is the uniform-speed assumption
+		// within edges; positions must stay on the path and near the truth.
+		pos := c.Position()
+		raw := ds.Raws[i]
+		if got := TSED(raw, pos); got > 600 {
+			t.Errorf("traj %d: Nonmaterial TSED=%v implausibly large", i, got)
+		}
+	}
+}
+
+func TestMMTCCompressesAndBounds(t *testing.T) {
+	ds, tab := fixture(t)
+	m := &MMTC{G: ds.Graph, SP: tab}
+	for i, tr := range ds.Truth[:6] {
+		orig := len(tr.Path) + 1
+		c, err := m.Compress(tr, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Vertices) > orig {
+			t.Fatalf("traj %d: MMTC grew the vertex sequence (%d > %d)", i, len(c.Vertices), orig)
+		}
+		if len(c.AnchorIdx) != len(c.Times) {
+			t.Fatal("anchor/time count mismatch")
+		}
+		if c.AnchorIdx[0] != 0 || c.AnchorIdx[len(c.AnchorIdx)-1] != len(c.Vertices)-1 {
+			t.Fatal("endpoints not anchored")
+		}
+		// Vertex sequence must be connected in the network.
+		for k := 1; k < len(c.Vertices); k++ {
+			ok := false
+			for _, e := range ds.Graph.Out(c.Vertices[k-1]) {
+				if ds.Graph.Edge(e).To == c.Vertices[k] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("traj %d: vertices %d,%d not adjacent", i, k-1, k)
+			}
+		}
+	}
+}
+
+func TestMMTCLooserBoundSmaller(t *testing.T) {
+	ds, tab := fixture(t)
+	m := &MMTC{G: ds.Graph, SP: tab}
+	var tight, loose int
+	for _, tr := range ds.Truth[:6] {
+		c0, err := m.Compress(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := m.Compress(tr, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight += c0.SizeBytes()
+		loose += c1.SizeBytes()
+	}
+	if loose > tight {
+		t.Errorf("eps=400 size %d > eps=0 size %d", loose, tight)
+	}
+}
+
+func TestMMTCPosition(t *testing.T) {
+	ds, tab := fixture(t)
+	m := &MMTC{G: ds.Graph, SP: tab}
+	tr := ds.Truth[0]
+	c, err := m.Compress(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := c.Position()
+	start := pos(tr.Temporal[0].T - 100)
+	if start.Dist(ds.Graph.Vertex(c.Vertices[0]).Pos) > 1e-9 {
+		t.Error("pre-start position should clamp to first anchor")
+	}
+	mid := pos(tr.Temporal[0].T + tr.Temporal.Duration()/2)
+	if math.IsNaN(mid.X) || math.IsNaN(mid.Y) {
+		t.Error("NaN position")
+	}
+}
+
+func TestDeflateRoundTrip(t *testing.T) {
+	ds, _ := fixture(t)
+	blob := RawBytes(ds.Raws[0])
+	if len(blob) != ds.Raws[0].SizeBytes() {
+		t.Fatalf("RawBytes len %d != SizeBytes %d", len(blob), ds.Raws[0].SizeBytes())
+	}
+	n, err := Deflate(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= len(blob) {
+		t.Errorf("Deflate size %d of %d implausible", n, len(blob))
+	}
+	// Full roundtrip through Inflate.
+	var compressed []byte
+	{
+		// Re-run Deflate capturing bytes via a copy of its logic is
+		// overkill; compress again through the public API pair.
+		c, err := deflateBytes(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compressed = c
+	}
+	back, err := Inflate(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, blob) {
+		t.Error("inflate roundtrip mismatch")
+	}
+}
+
+func TestTSEDZeroForIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	raw := randomRaw(rng, 30)
+	if got := TSED(raw, SimplifiedPosition(raw)); got > 1e-9 {
+		t.Errorf("identity TSED = %v", got)
+	}
+	if got := TSED(nil, SimplifiedPosition(raw)); got != 0 {
+		t.Errorf("empty TSED = %v", got)
+	}
+}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"errors"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+// MMTC is the Kellaris et al. [10] baseline: map-matched trajectory
+// compression. It scans the trajectory's intersection sequence with a
+// growing window and replaces each window by the path through the FEWEST
+// intersections between the window endpoints, provided every original
+// intersection in the window stays within the similarity bound eps of the
+// replacement's geometry. The compressed trajectory is the concatenated
+// replacement vertex sequence plus timestamps at the window anchors — both
+// spatially and temporally lossy, and decompression to the original
+// trajectory is impossible (which is why Fig. 13(b) has no MMTC series).
+//
+// Every window evaluation runs a hop-count shortest-path search, which is
+// what makes MMTC two orders of magnitude slower than PRESS in Fig. 13(a).
+type MMTC struct {
+	G  *roadnet.Graph
+	SP *spindex.Table
+}
+
+// MMTCCompressed is an MMTC-compressed trajectory: the replacement
+// intersection sequence and the anchor timestamps. AnchorIdx[i] is the
+// position of the i-th anchor within Vertices.
+type MMTCCompressed struct {
+	Vertices  []roadnet.VertexID
+	AnchorIdx []int
+	Times     []float64
+	g         *roadnet.Graph
+}
+
+// SizeBytes: 4 bytes per vertex plus 8 bytes per anchor timestamp.
+func (c *MMTCCompressed) SizeBytes() int { return len(c.Vertices)*4 + len(c.Times)*8 }
+
+// Compress runs MMTC on a re-formatted trajectory with similarity bound eps
+// (meters). eps = 0 keeps the original intersection sequence.
+func (m *MMTC) Compress(tr *traj.Trajectory, eps float64) (*MMTCCompressed, error) {
+	if len(tr.Path) == 0 || len(tr.Temporal) == 0 {
+		return nil, errors.New("baseline: empty trajectory")
+	}
+	// Original intersection sequence and crossing times.
+	verts := make([]roadnet.VertexID, 0, len(tr.Path)+1)
+	times := make([]float64, 0, len(tr.Path)+1)
+	var cum float64
+	verts = append(verts, m.G.Edge(tr.Path[0]).From)
+	times = append(times, tr.Temporal[0].T)
+	for _, id := range tr.Path {
+		cum += m.G.Edge(id).Weight
+		verts = append(verts, m.G.Edge(id).To)
+		times = append(times, tr.Temporal.Tim(cum))
+	}
+	out := &MMTCCompressed{g: m.G}
+	emitAnchor := func(v roadnet.VertexID, t float64) {
+		out.AnchorIdx = append(out.AnchorIdx, len(out.Vertices))
+		out.Vertices = append(out.Vertices, v)
+		out.Times = append(out.Times, t)
+	}
+	emitAnchor(verts[0], times[0])
+	i := 0
+	for i < len(verts)-1 {
+		// Grow the window [i, j] while a fewest-intersection replacement
+		// stays within eps of every replaced original vertex.
+		bestJ := i + 1
+		var bestPath []roadnet.EdgeID
+		for j := i + 2; j < len(verts); j++ {
+			rep := m.fewestHops(verts[i], verts[j])
+			if rep == nil {
+				break
+			}
+			if !m.withinBound(verts[i+1:j], times[i+1:j], times[i], times[j], rep, eps) {
+				break
+			}
+			bestJ = j
+			bestPath = rep
+		}
+		if bestPath == nil {
+			// No replaceable window: copy the single original hop; its
+			// endpoint is the next window anchor.
+			emitAnchor(verts[i+1], times[i+1])
+		} else {
+			// Append the replacement path's interior vertices, then anchor
+			// at the window end.
+			for k := 0; k < len(bestPath)-1; k++ {
+				out.Vertices = append(out.Vertices, m.G.Edge(bestPath[k]).To)
+			}
+			emitAnchor(m.G.Edge(bestPath[len(bestPath)-1]).To, times[bestJ])
+		}
+		i = bestJ
+	}
+	return out, nil
+}
+
+// fewestHops returns the hop-count shortest edge path between two vertices.
+func (m *MMTC) fewestHops(a, b roadnet.VertexID) []roadnet.EdgeID {
+	if a == b {
+		return nil
+	}
+	s := spindex.VertexDijkstra(m.G, a, spindex.HopCost, -1)
+	return s.PathTo(b)
+}
+
+// withinBound checks the time-synchronized similarity of a window
+// replacement: at each replaced vertex's true crossing time, the position
+// along the replacement (traversed at uniform speed between the window's
+// anchor times, which is all the compressed form retains) must lie within
+// eps of the vertex. A zero bound therefore keeps everything, as a
+// similarity-bounded method must.
+func (m *MMTC) withinBound(replaced []roadnet.VertexID, times []float64, t0, t1 float64, rep []roadnet.EdgeID, eps float64) bool {
+	if len(replaced) == 0 {
+		return true
+	}
+	pl := m.G.PathPolyline(rep)
+	total := pl.Length()
+	span := t1 - t0
+	for k, v := range replaced {
+		var at float64
+		if span > 0 {
+			at = total * (times[k] - t0) / span
+		}
+		if pl.At(at).Dist(m.G.Vertex(v).Pos) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Position returns the TSED interpolant: uniform speed between anchors,
+// along the straight lines of the stored vertex sequence.
+func (c *MMTCCompressed) Position() PositionFunc {
+	// Precompute cumulative geometric distance over the vertex polyline.
+	cum := make([]float64, len(c.Vertices))
+	for i := 1; i < len(c.Vertices); i++ {
+		cum[i] = cum[i-1] + c.g.Vertex(c.Vertices[i-1]).Pos.Dist(c.g.Vertex(c.Vertices[i]).Pos)
+	}
+	return func(t float64) geo.Point {
+		n := len(c.Times)
+		if n == 0 {
+			return geo.Point{}
+		}
+		if t <= c.Times[0] {
+			return c.g.Vertex(c.Vertices[c.AnchorIdx[0]]).Pos
+		}
+		if t >= c.Times[n-1] {
+			return c.g.Vertex(c.Vertices[c.AnchorIdx[n-1]]).Pos
+		}
+		k := 0
+		for c.Times[k+1] < t {
+			k++
+		}
+		a, b := c.AnchorIdx[k], c.AnchorIdx[k+1]
+		ta, tb := c.Times[k], c.Times[k+1]
+		f := 0.0
+		if tb > ta {
+			f = (t - ta) / (tb - ta)
+		}
+		target := cum[a] + f*(cum[b]-cum[a])
+		// Locate target distance on the vertex polyline.
+		for i := a; i < b; i++ {
+			if target <= cum[i+1] {
+				seg := cum[i+1] - cum[i]
+				if seg == 0 {
+					return c.g.Vertex(c.Vertices[i]).Pos
+				}
+				return geo.Lerp(c.g.Vertex(c.Vertices[i]).Pos, c.g.Vertex(c.Vertices[i+1]).Pos,
+					(target-cum[i])/seg)
+			}
+		}
+		return c.g.Vertex(c.Vertices[b]).Pos
+	}
+}

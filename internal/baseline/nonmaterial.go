@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"errors"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+	"press/internal/traj"
+)
+
+// Nonmaterial is the Cao & Wolfson [4] baseline: a trajectory is stored as
+// its street (edge) sequence plus timestamps at the intersections it
+// crosses, computed from the original samples under a uniform-speed
+// assumption per street. With a tolerance eps > 0, intersection records
+// whose time can be linearly interpolated from their neighbours within an
+// eps network-distance error are elided (an opening-window pass in d-t
+// space), mirroring how the paper sweeps this baseline along TSED in
+// Fig. 14.
+type Nonmaterial struct {
+	G *roadnet.Graph
+}
+
+// NMCrossing is one retained temporal record: the network distance from the
+// trajectory start (an intersection position, except for the two endpoints)
+// and the crossing time.
+type NMCrossing struct {
+	D float64
+	T float64
+}
+
+// NMCompressed is a Nonmaterial-compressed trajectory.
+type NMCompressed struct {
+	Edges     traj.Path
+	Crossings []NMCrossing
+	g         *roadnet.Graph
+}
+
+// SizeBytes: 4 bytes per edge id plus one 4-byte intersection index and an
+// 8-byte timestamp per retained crossing (the distance is implied by the
+// index into the street sequence, so it is not charged).
+func (c *NMCompressed) SizeBytes() int { return len(c.Edges)*4 + len(c.Crossings)*12 }
+
+// Compress builds the Nonmaterial form of a re-formatted trajectory.
+func (nm *Nonmaterial) Compress(tr *traj.Trajectory, eps float64) (*NMCompressed, error) {
+	if len(tr.Path) == 0 || len(tr.Temporal) == 0 {
+		return nil, errors.New("baseline: empty trajectory")
+	}
+	cum := make([]float64, len(tr.Path)+1)
+	for i, id := range tr.Path {
+		cum[i+1] = cum[i] + nm.G.Edge(id).Weight
+	}
+	first := tr.Temporal[0]
+	last := tr.Temporal[len(tr.Temporal)-1]
+	pts := []NMCrossing{{D: first.D, T: first.T}}
+	for i := 1; i <= len(tr.Path); i++ {
+		d := cum[i]
+		if d <= first.D || d >= last.D {
+			continue
+		}
+		pts = append(pts, NMCrossing{D: d, T: tr.Temporal.Tim(d)})
+	}
+	if last.T > pts[len(pts)-1].T {
+		pts = append(pts, NMCrossing{D: last.D, T: last.T})
+	}
+	kept := elideCrossings(pts, eps)
+	return &NMCompressed{Edges: tr.Path.Clone(), Crossings: kept, g: nm.G}, nil
+}
+
+// elideCrossings drops interior records reproducible within eps network
+// distance by linear interpolation (opening window in d-t space).
+func elideCrossings(pts []NMCrossing, eps float64) []NMCrossing {
+	if len(pts) <= 2 || eps <= 0 {
+		return append([]NMCrossing(nil), pts...)
+	}
+	kept := []NMCrossing{pts[0]}
+	anchor := 0
+	i := 1
+	for i < len(pts) {
+		ok := true
+		a, b := pts[anchor], pts[i]
+		for j := anchor + 1; j < i; j++ {
+			p := pts[j]
+			var interp float64
+			if b.T == a.T {
+				interp = a.D
+			} else {
+				interp = a.D + (b.D-a.D)*(p.T-a.T)/(b.T-a.T)
+			}
+			if diff := interp - p.D; diff > eps || diff < -eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			i++
+			continue
+		}
+		kept = append(kept, pts[i-1])
+		anchor = i - 1
+	}
+	return append(kept, pts[len(pts)-1])
+}
+
+// temporal converts the retained crossings back to a temporal sequence.
+func (c *NMCompressed) temporal() traj.Temporal {
+	ts := make(traj.Temporal, len(c.Crossings))
+	for i, cr := range c.Crossings {
+		ts[i] = traj.Entry{D: cr.D, T: cr.T}
+	}
+	return ts
+}
+
+// Decompress reconstructs a trajectory: spatial path exact, temporal
+// sequence interpolated from the retained crossings.
+func (c *NMCompressed) Decompress() *traj.Trajectory {
+	return &traj.Trajectory{Path: c.Edges.Clone(), Temporal: c.temporal()}
+}
+
+// Position returns the planar interpolant used for TSED evaluation.
+func (c *NMCompressed) Position() PositionFunc {
+	ts := c.temporal()
+	return func(t float64) geo.Point {
+		return c.g.PointAlongPath([]roadnet.EdgeID(c.Edges), ts.Dis(t))
+	}
+}

@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"math"
+
+	"press/internal/geo"
+)
+
+// Query support over the baselines' compressed forms. The original
+// Nonmaterial and MMTC papers do not define query processing; PRESS §6.3
+// states the authors "extended original work by adding extra structures in
+// order to support the queries we studied" — these are those extensions,
+// kept to the same linear-scan cost model as the raw reference queries.
+
+// WhereAt over a Nonmaterial-compressed trajectory: interpolate the network
+// distance from the (fewer) retained crossings, then walk the street
+// sequence.
+func (c *NMCompressed) WhereAt(t float64) geo.Point {
+	ts := c.temporal()
+	d := ts.Dis(t)
+	for _, id := range c.Edges {
+		e := c.g.Edge(id)
+		if d <= e.Weight {
+			return e.Geometry.At(d)
+		}
+		d -= e.Weight
+	}
+	if len(c.Edges) == 0 {
+		return geo.Point{}
+	}
+	gm := c.g.Edge(c.Edges[len(c.Edges)-1]).Geometry
+	return gm[len(gm)-1]
+}
+
+// WhenAt over a Nonmaterial-compressed trajectory.
+func (c *NMCompressed) WhenAt(p geo.Point) float64 {
+	best := math.Inf(1)
+	var bestD, prefix float64
+	for _, id := range c.Edges {
+		e := c.g.Edge(id)
+		_, along, dist := e.Geometry.Project(p)
+		if dist < best {
+			best = dist
+			bestD = prefix + along
+		}
+		prefix += e.Weight
+	}
+	return c.temporal().Tim(bestD)
+}
+
+// RangeQ over a Nonmaterial-compressed trajectory.
+func (c *NMCompressed) RangeQ(t1, t2 float64, r geo.MBR) bool {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	ts := c.temporal()
+	d1, d2 := ts.Dis(t1), ts.Dis(t2)
+	var prefix float64
+	for _, id := range c.Edges {
+		e := c.g.Edge(id)
+		lo, hi := prefix, prefix+e.Weight
+		prefix = hi
+		if hi < d1 || lo > d2 {
+			continue
+		}
+		if e.Geometry.IntersectsMBR(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// WhereAt over an MMTC-compressed trajectory: the anchor interpolant.
+func (c *MMTCCompressed) WhereAt(t float64) geo.Point { return c.Position()(t) }
+
+// WhenAt over an MMTC-compressed trajectory: project onto the stored vertex
+// polyline and invert the anchor time/geometry mapping.
+func (c *MMTCCompressed) WhenAt(p geo.Point) float64 {
+	pl := c.polyline()
+	_, along, _ := pl.Project(p)
+	// Cumulative geometric distance at anchors.
+	cum := c.cumulative()
+	n := len(c.AnchorIdx)
+	for k := 0; k+1 < n; k++ {
+		a, b := c.AnchorIdx[k], c.AnchorIdx[k+1]
+		if along <= cum[b] || k+2 == n {
+			da, db := cum[a], cum[b]
+			if db == da {
+				return c.Times[k]
+			}
+			f := (along - da) / (db - da)
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			return c.Times[k] + f*(c.Times[k+1]-c.Times[k])
+		}
+	}
+	return c.Times[n-1]
+}
+
+// RangeQ over an MMTC-compressed trajectory.
+func (c *MMTCCompressed) RangeQ(t1, t2 float64, r geo.MBR) bool {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	pl := c.polyline()
+	cum := c.cumulative()
+	// Geometric window from the anchor interpolation.
+	d1 := c.distAt(t1, cum)
+	d2 := c.distAt(t2, cum)
+	var acc float64
+	for i := 1; i < len(pl); i++ {
+		seg := pl[i-1].Dist(pl[i])
+		lo, hi := acc, acc+seg
+		acc = hi
+		if hi < d1 || lo > d2 {
+			continue
+		}
+		if (geo.Polyline{pl[i-1], pl[i]}).IntersectsMBR(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *MMTCCompressed) polyline() geo.Polyline {
+	pl := make(geo.Polyline, len(c.Vertices))
+	for i, v := range c.Vertices {
+		pl[i] = c.g.Vertex(v).Pos
+	}
+	return pl
+}
+
+func (c *MMTCCompressed) cumulative() []float64 {
+	cum := make([]float64, len(c.Vertices))
+	for i := 1; i < len(c.Vertices); i++ {
+		cum[i] = cum[i-1] + c.g.Vertex(c.Vertices[i-1]).Pos.Dist(c.g.Vertex(c.Vertices[i]).Pos)
+	}
+	return cum
+}
+
+func (c *MMTCCompressed) distAt(t float64, cum []float64) float64 {
+	n := len(c.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= c.Times[0] {
+		return cum[c.AnchorIdx[0]]
+	}
+	if t >= c.Times[n-1] {
+		return cum[c.AnchorIdx[n-1]]
+	}
+	k := 0
+	for c.Times[k+1] < t {
+		k++
+	}
+	ta, tb := c.Times[k], c.Times[k+1]
+	da, db := cum[c.AnchorIdx[k]], cum[c.AnchorIdx[k+1]]
+	if tb == ta {
+		return da
+	}
+	return da + (db-da)*(t-ta)/(tb-ta)
+}

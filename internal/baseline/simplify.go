@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"press/internal/geo"
+	"press/internal/traj"
+)
+
+// UniformSample keeps every k-th sample (and always the endpoints) — the
+// efficient but not error-bounded simplifier of §7.1.1.
+func UniformSample(raw traj.Raw, k int) traj.Raw {
+	if k <= 1 || len(raw) <= 2 {
+		return append(traj.Raw(nil), raw...)
+	}
+	out := traj.Raw{raw[0]}
+	for i := k; i < len(raw)-1; i += k {
+		out = append(out, raw[i])
+	}
+	return append(out, raw[len(raw)-1])
+}
+
+// tsedPointError is the time-synchronized deviation of sample p from the
+// chord a->b (the DP-variant metric of [16]).
+func tsedPointError(a, b, p traj.RawPoint) float64 {
+	if b.T == a.T {
+		return p.Pos.Dist(a.Pos)
+	}
+	f := (p.T - a.T) / (b.T - a.T)
+	return p.Pos.Dist(geo.Lerp(a.Pos, b.Pos, f))
+}
+
+// DouglasPeucker simplifies with the classic recursive split, using the
+// time-synchronized Euclidean distance so temporal structure is preserved.
+func DouglasPeucker(raw traj.Raw, eps float64) traj.Raw {
+	if len(raw) <= 2 {
+		return append(traj.Raw(nil), raw...)
+	}
+	keep := make([]bool, len(raw))
+	keep[0], keep[len(raw)-1] = true, true
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		worst, worstErr := -1, eps
+		for i := lo + 1; i < hi; i++ {
+			if e := tsedPointError(raw[lo], raw[hi], raw[i]); e > worstErr {
+				worst, worstErr = i, e
+			}
+		}
+		if worst < 0 {
+			return
+		}
+		keep[worst] = true
+		rec(lo, worst)
+		rec(worst, hi)
+	}
+	rec(0, len(raw)-1)
+	var out traj.Raw
+	for i, k := range keep {
+		if k {
+			out = append(out, raw[i])
+		}
+	}
+	return out
+}
+
+// OpeningWindow is the BOPW simplifier of [16] under the TSED metric: the
+// window grows while every interior sample stays within eps of the chord to
+// the candidate endpoint; on failure the previous sample is retained.
+func OpeningWindow(raw traj.Raw, eps float64) traj.Raw {
+	n := len(raw)
+	if n <= 2 {
+		return append(traj.Raw(nil), raw...)
+	}
+	out := traj.Raw{raw[0]}
+	anchor := 0
+	i := anchor + 1
+	for i < n {
+		ok := true
+		for j := anchor + 1; j < i; j++ {
+			if tsedPointError(raw[anchor], raw[i], raw[j]) > eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			i++
+			continue
+		}
+		out = append(out, raw[i-1])
+		anchor = i - 1
+	}
+	return append(out, raw[n-1])
+}
+
+// SimplifiedSizeBytes is the storage cost of a kept-sample subset under the
+// paper's raw triple model.
+func SimplifiedSizeBytes(kept traj.Raw) int { return kept.SizeBytes() }
+
+// SimplifiedPosition returns the interpolant for a kept-sample subset.
+func SimplifiedPosition(kept traj.Raw) PositionFunc { return interpolateRaw(kept) }

@@ -1,0 +1,68 @@
+// Package baseline implements the comparison systems of PRESS §6 and §7:
+//
+//   - Nonmaterial (Cao & Wolfson, ICDT'05): street sequence plus
+//     intersection timestamps under a uniform-speed assumption;
+//   - MMTC (Kellaris, Pelekis & Theodoridis, JSS'13): map-matched trajectory
+//     compression that replaces sub-paths with alternative paths through
+//     fewer intersections under a similarity bound;
+//   - the Euclidean line-simplification family of §7.1 (uniform sampling,
+//     Douglas–Peucker with time-synchronized distance, opening window);
+//   - a DEFLATE ("ZIP") wrapper standing in for the paper's generic
+//     lossless coders.
+//
+// All baselines expose storage cost plus a position interpolant so the TSED
+// error metric of §4.1 can compare them against PRESS on equal terms.
+package baseline
+
+import (
+	"press/internal/geo"
+	"press/internal/traj"
+)
+
+// PositionFunc interpolates a compressed trajectory's position at time t.
+type PositionFunc func(t float64) geo.Point
+
+// TSED computes the Time Synchronized Euclidean Distance between the
+// original GPS samples and a compressed representation's interpolant: the
+// maximum planar distance at the original sample instants (the metric of
+// Meratnia & de By [16] the paper's Fig. 14 sweeps).
+func TSED(orig traj.Raw, pos PositionFunc) float64 {
+	var max float64
+	for _, rp := range orig {
+		if d := rp.Pos.Dist(pos(rp.T)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// interpolateRaw returns the linear interpolant of a kept-sample subset.
+func interpolateRaw(pts traj.Raw) PositionFunc {
+	return func(t float64) geo.Point {
+		n := len(pts)
+		if n == 0 {
+			return geo.Point{}
+		}
+		if t <= pts[0].T {
+			return pts[0].Pos
+		}
+		if t >= pts[n-1].T {
+			return pts[n-1].Pos
+		}
+		lo, hi := 0, n-1
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if pts[mid].T < t {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		a, b := pts[lo], pts[hi]
+		if b.T == a.T {
+			return b.Pos
+		}
+		f := (t - a.T) / (b.T - a.T)
+		return geo.Lerp(a.Pos, b.Pos, f)
+	}
+}

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"press/internal/traj"
+)
+
+// RawBytes serializes a raw trajectory to the paper's storage model:
+// 24 bytes per (x, y, t) sample, little endian.
+func RawBytes(raw traj.Raw) []byte {
+	buf := make([]byte, 0, len(raw)*24)
+	var tmp [8]byte
+	for _, p := range raw {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(p.Pos.X))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(p.Pos.Y))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(p.T))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// Deflate compresses data with DEFLATE at best compression — the method ZIP
+// archives use, standing in for the paper's ZIP/RAR comparison. It returns
+// the compressed byte count.
+func Deflate(data []byte) (int, error) {
+	b, err := deflateBytes(data)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// deflateBytes returns the DEFLATE stream itself.
+func deflateBytes(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Inflate decompresses a DEFLATE stream (provided for completeness; the
+// paper notes generic coders must fully decompress before any use).
+func Inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}

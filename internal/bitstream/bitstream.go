@@ -1,0 +1,137 @@
+// Package bitstream provides bit-level writers and readers used by the
+// Huffman stage of HSC to pack variable-length codes into byte slices.
+// Bits are written most-significant-first within each byte.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned when a reader is asked for more bits than remain.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Writer accumulates bits into a byte slice.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (any non-zero value counts as 1).
+func (w *Writer) WriteBit(b int) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteBits appends the n least-significant bits of v, most significant
+// first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// WriteCode appends a code given as a string of '0'/'1' runes; convenient
+// for tests and Huffman code tables.
+func (w *Writer) WriteCode(code string) error {
+	for _, c := range code {
+		switch c {
+		case '0':
+			w.WriteBit(0)
+		case '1':
+			w.WriteBit(1)
+		default:
+			return fmt.Errorf("bitstream: invalid code rune %q", c)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the packed bytes; the final byte is zero-padded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes bits from a byte slice.
+type Reader struct {
+	buf  []byte
+	nbit int // total readable bits
+	pos  int // next bit index
+}
+
+// NewReader reads nbit bits from buf. If nbit < 0 the full slice is
+// readable.
+func NewReader(buf []byte, nbit int) *Reader {
+	if nbit < 0 {
+		nbit = len(buf) * 8
+	}
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (int, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrOutOfBits
+	}
+	b := int(r.buf[r.pos/8] >> (7 - uint(r.pos%8)) & 1)
+	r.pos++
+	return b, nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer, most significant
+// first.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// PeekBits returns the next n bits without consuming them. It requires
+// n bits to be available (check Remaining first).
+func (r *Reader) PeekBits(n int) (uint64, error) {
+	if r.pos+n > r.nbit {
+		return 0, ErrOutOfBits
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		p := r.pos + i
+		v = v<<1 | uint64(r.buf[p/8]>>(7-uint(p%8))&1)
+	}
+	return v, nil
+}
+
+// Skip consumes n bits without returning them.
+func (r *Reader) Skip(n int) error {
+	if r.pos+n > r.nbit {
+		return ErrOutOfBits
+	}
+	r.pos += n
+	return nil
+}
+
+// Remaining returns how many bits are left.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// Pos returns the number of bits consumed so far.
+func (r *Reader) Pos() int { return r.pos }

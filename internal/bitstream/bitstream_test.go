@@ -1,0 +1,146 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBit(1)
+	w.WriteBits(0b1101, 4)
+	if w.Len() != 7 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range []int{1, 0, 1, 1, 1, 0, 1} {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d = %d (%v) want %d", i, got, err, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Errorf("expected ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestWriteCode(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteCode("0110"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCode("01x"); err == nil {
+		t.Error("invalid rune accepted")
+	}
+	r := NewReader(w.Bytes(), 4)
+	v, err := r.ReadBits(4)
+	if err != nil || v != 0b0110 {
+		t.Errorf("ReadBits = %b (%v)", v, err)
+	}
+}
+
+func TestReadBitsAcrossByteBoundary(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xABCD, 16)
+	r := NewReader(w.Bytes(), w.Len())
+	v, err := r.ReadBits(16)
+	if err != nil || v != 0xABCD {
+		t.Fatalf("ReadBits(16) = %x (%v)", v, err)
+	}
+}
+
+func TestReaderFullSlice(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x00}, -1)
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	v, err := r.ReadBits(9)
+	if err != nil || v != 0x1FE {
+		t.Fatalf("ReadBits(9) = %x (%v)", v, err)
+	}
+	if r.Pos() != 9 || r.Remaining() != 7 {
+		t.Errorf("Pos/Remaining = %d/%d", r.Pos(), r.Remaining())
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Error("Reset did not clear")
+	}
+	w.WriteBit(1)
+	if w.Bytes()[0] != 0x80 {
+		t.Errorf("after reset first byte = %x", w.Bytes()[0])
+	}
+}
+
+func TestOutOfBitsMidRead(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBits(4); err != ErrOutOfBits {
+		t.Errorf("expected ErrOutOfBits, got %v", err)
+	}
+}
+
+// Round-trip property: any sequence of (value, width) writes reads back.
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWriter()
+		type rec struct {
+			v uint64
+			n int
+		}
+		var recs []rec
+		for i := 0; i < 50; i++ {
+			n := rng.Intn(64) + 1
+			v := rng.Uint64() & (^uint64(0) >> uint(64-n))
+			recs = append(recs, rec{v, n})
+			w.WriteBits(v, n)
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for _, rc := range recs {
+			got, err := r.ReadBits(rc.n)
+			if err != nil || got != rc.v {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeekAndSkip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b10110100, 8)
+	w.WriteBits(0b1, 1)
+	r := NewReader(w.Bytes(), w.Len())
+	v, err := r.PeekBits(4)
+	if err != nil || v != 0b1011 {
+		t.Fatalf("PeekBits = %b (%v)", v, err)
+	}
+	if r.Pos() != 0 {
+		t.Fatal("peek consumed bits")
+	}
+	if err := r.Skip(3); err != nil || r.Pos() != 3 {
+		t.Fatalf("Skip: pos=%d (%v)", r.Pos(), err)
+	}
+	v, err = r.ReadBits(6)
+	if err != nil || v != 0b101001 {
+		t.Fatalf("ReadBits after skip = %b (%v)", v, err)
+	}
+	if _, err := r.PeekBits(5); err != ErrOutOfBits {
+		t.Error("peek past end accepted")
+	}
+	if err := r.Skip(5); err != ErrOutOfBits {
+		t.Error("skip past end accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+// Compressor is the full PRESS pipeline head: it owns the static structures
+// (shortest-path table, FST codebook) and the temporal error bounds, and
+// turns re-formatted trajectories into Compressed records and back.
+type Compressor struct {
+	Graph *roadnet.Graph
+	SP    *spindex.Table
+	CB    *Codebook
+	Tau   float64 // maximal tolerated TSND, meters
+	Eta   float64 // maximal tolerated NSTD, seconds
+}
+
+// NewCompressor assembles a compressor. Tau and Eta may be zero for the
+// strictest temporal bounds.
+func NewCompressor(g *roadnet.Graph, sp *spindex.Table, cb *Codebook, tau, eta float64) (*Compressor, error) {
+	if g == nil || sp == nil || cb == nil {
+		return nil, errors.New("core: nil component")
+	}
+	if tau < 0 || eta < 0 {
+		return nil, errors.New("core: negative error bound")
+	}
+	return &Compressor{Graph: g, SP: sp, CB: cb, Tau: tau, Eta: eta}, nil
+}
+
+// HSC returns the spatial compressor view of this compressor.
+func (c *Compressor) HSC() *HSC { return NewHSC(c.SP, c.CB) }
+
+// Compressed is one compressed trajectory: a lossless spatial code plus an
+// error-bounded temporal sequence that keeps the original (d, t) format, so
+// temporal queries run without any decompression (§1).
+type Compressed struct {
+	Spatial  *SpatialCode
+	Temporal traj.Temporal
+}
+
+// SizeBytes is the serialized storage cost: a 4-byte spatial bit-length
+// header, the packed spatial bits, a 4-byte tuple count, and 8 bytes per
+// temporal tuple ((d, t) as float32 pairs — centimeter/sub-second precision
+// at city scale, far below any meaningful TSND/NSTD bound).
+func (ct *Compressed) SizeBytes() int {
+	return 4 + ct.Spatial.SizeBytes() + 4 + 8*len(ct.Temporal)
+}
+
+// Compress compresses one re-formatted trajectory.
+func (c *Compressor) Compress(t *traj.Trajectory) (*Compressed, error) {
+	sc, err := c.HSC().Compress(t.Path)
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Spatial: sc, Temporal: BTC(t.Temporal, c.Tau, c.Eta)}, nil
+}
+
+// Decompress recovers the trajectory: the spatial path exactly, the temporal
+// sequence within the configured TSND/NSTD bounds (BTC output needs no
+// decompression, it already is a valid temporal sequence).
+func (c *Compressor) Decompress(ct *Compressed) (*traj.Trajectory, error) {
+	path, err := c.HSC().Decompress(ct.Spatial)
+	if err != nil {
+		return nil, err
+	}
+	return &traj.Trajectory{Path: path, Temporal: ct.Temporal.Clone()}, nil
+}
+
+// CompressAll compresses a batch over a worker pool — the "Paralleled" in
+// PRESS. Order is preserved. The first error aborts the batch.
+func (c *Compressor) CompressAll(ts []*traj.Trajectory) ([]*Compressed, error) {
+	out := make([]*Compressed, len(ts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		fail error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if fail != nil || next >= len(ts) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				ct, err := c.Compress(ts[i])
+				if err != nil {
+					mu.Lock()
+					if fail == nil {
+						fail = fmt.Errorf("core: trajectory %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = ct
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		return nil, fail
+	}
+	return out, nil
+}
+
+// Marshal serializes a compressed trajectory to the binary layout counted by
+// SizeBytes (little endian).
+func (ct *Compressed) Marshal() []byte {
+	buf := make([]byte, 0, ct.SizeBytes())
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(ct.Spatial.NBits))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, ct.Spatial.Bits[:(ct.Spatial.NBits+7)/8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(ct.Temporal)))
+	buf = append(buf, tmp[:4]...)
+	for _, e := range ct.Temporal {
+		binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(float32(e.D)))
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(float32(e.T)))
+		buf = append(buf, tmp[:4]...)
+	}
+	return buf
+}
+
+// UnmarshalCompressed parses the layout written by Marshal.
+func UnmarshalCompressed(b []byte) (*Compressed, error) {
+	if len(b) < 8 {
+		return nil, errors.New("core: short buffer")
+	}
+	nbits := int(binary.LittleEndian.Uint32(b[:4]))
+	b = b[4:]
+	nbytes := (nbits + 7) / 8
+	if len(b) < nbytes+4 {
+		return nil, errors.New("core: truncated spatial code")
+	}
+	bits := append([]byte(nil), b[:nbytes]...)
+	b = b[nbytes:]
+	count := int(binary.LittleEndian.Uint32(b[:4]))
+	b = b[4:]
+	if len(b) < count*8 {
+		return nil, errors.New("core: truncated temporal sequence")
+	}
+	ts := make(traj.Temporal, count)
+	for i := 0; i < count; i++ {
+		ts[i].D = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*8:])))
+		ts[i].T = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*8+4:])))
+	}
+	return &Compressed{Spatial: &SpatialCode{Bits: bits, NBits: nbits}, Temporal: ts}, nil
+}

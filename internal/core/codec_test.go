@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"press/internal/traj"
+)
+
+func testCompressor(t *testing.T, tau, eta float64) (*Compressor, func(int) traj.Path, *rand.Rand) {
+	t.Helper()
+	g, tab := testGrid(t)
+	rng := rand.New(rand.NewSource(31))
+	gen := func(n int) traj.Path { return randomWalk(g, rng, n) }
+	var corpus []traj.Path
+	for i := 0; i < 40; i++ {
+		corpus = append(corpus, SPCompress(tab, gen(rng.Intn(25)+2)))
+	}
+	cb, err := Train(corpus, TrainOptions{NumEdges: g.NumEdges(), Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompressor(g, tab, cb, tau, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, gen, rng
+}
+
+// synthTrajectory builds a consistent trajectory over a path: temporal
+// distances track the path length with stops.
+func synthTrajectory(c *Compressor, path traj.Path, rng *rand.Rand) *traj.Trajectory {
+	total := c.Graph.PathLength(path)
+	ts := traj.Temporal{{D: 0, T: 0}}
+	d, tm := 0.0, 0.0
+	for d < total {
+		tm += 5 + rng.Float64()*25
+		if rng.Float64() < 0.25 {
+			// stop
+		} else {
+			d += rng.Float64() * total / 8
+			if d > total {
+				d = total
+			}
+		}
+		ts = append(ts, traj.Entry{D: d, T: tm})
+	}
+	return &traj.Trajectory{Path: path, Temporal: ts}
+}
+
+func TestCompressorRoundTrip(t *testing.T) {
+	c, gen, rng := testCompressor(t, 50, 30)
+	for trial := 0; trial < 100; trial++ {
+		tr := synthTrajectory(c, gen(rng.Intn(30)+2), rng)
+		ct, err := c.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Decompress(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Path.Equal(tr.Path) {
+			t.Fatal("spatial not lossless")
+		}
+		if got := TSND(tr.Temporal, back.Temporal); got > 50+1e-6 {
+			t.Fatalf("TSND = %v", got)
+		}
+		if got := NSTD(tr.Temporal, back.Temporal); got > 30+1e-6 {
+			t.Fatalf("NSTD = %v", got)
+		}
+	}
+}
+
+func TestNewCompressorValidation(t *testing.T) {
+	c, _, _ := testCompressor(t, 0, 0)
+	if _, err := NewCompressor(nil, c.SP, c.CB, 0, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewCompressor(c.Graph, c.SP, c.CB, -1, 0); err == nil {
+		t.Error("negative tau accepted")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	c, gen, rng := testCompressor(t, 20, 20)
+	for trial := 0; trial < 50; trial++ {
+		tr := synthTrajectory(c, gen(rng.Intn(25)+2), rng)
+		ct, err := c.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := ct.Marshal()
+		if len(blob) != ct.SizeBytes() {
+			t.Fatalf("Marshal len %d != SizeBytes %d", len(blob), ct.SizeBytes())
+		}
+		back, err := UnmarshalCompressed(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Spatial.NBits != ct.Spatial.NBits || !reflect.DeepEqual(back.Spatial.Bits, ct.Spatial.Bits) {
+			t.Fatal("spatial marshal roundtrip mismatch")
+		}
+		if len(back.Temporal) != len(ct.Temporal) {
+			t.Fatal("temporal count mismatch")
+		}
+		for k := range ct.Temporal {
+			// Temporal tuples are serialized as float32: sub-meter and
+			// sub-second precision is retained, exact bits are not.
+			if dd := back.Temporal[k].D - ct.Temporal[k].D; dd > 0.5 || dd < -0.5 {
+				t.Fatalf("temporal D drift %v", dd)
+			}
+			if dt := back.Temporal[k].T - ct.Temporal[k].T; dt > 0.5 || dt < -0.5 {
+				t.Fatalf("temporal T drift %v", dt)
+			}
+		}
+		p1, err1 := c.Decompress(ct)
+		p2, err2 := c.Decompress(back)
+		if err1 != nil || err2 != nil || !p1.Path.Equal(p2.Path) {
+			t.Fatal("decompressed forms differ")
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalCompressed(nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := UnmarshalCompressed([]byte{255, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated spatial accepted")
+	}
+	// Valid header but truncated temporal.
+	ct := &Compressed{Spatial: &SpatialCode{Bits: []byte{0xAA}, NBits: 8}, Temporal: traj.Temporal{{D: 1, T: 2}}}
+	blob := ct.Marshal()
+	if _, err := UnmarshalCompressed(blob[:len(blob)-4]); err == nil {
+		t.Error("truncated temporal accepted")
+	}
+}
+
+func TestCompressAllMatchesSequential(t *testing.T) {
+	c, gen, rng := testCompressor(t, 40, 40)
+	var batch []*traj.Trajectory
+	for i := 0; i < 40; i++ {
+		batch = append(batch, synthTrajectory(c, gen(rng.Intn(25)+2), rng))
+	}
+	par, err := c.CompressAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range batch {
+		seq, err := c.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Spatial.NBits != seq.Spatial.NBits || len(par[i].Temporal) != len(seq.Temporal) {
+			t.Fatalf("parallel result %d differs from sequential", i)
+		}
+	}
+}
+
+func TestCompressAllEmpty(t *testing.T) {
+	c, _, _ := testCompressor(t, 0, 0)
+	out, err := c.CompressAll(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v (%v)", out, err)
+	}
+}
+
+// Corrupted or truncated blobs must produce errors, never panics, and a
+// decode that happens to succeed must still yield a structurally valid
+// trajectory or a clean error from decompression.
+func TestUnmarshalCorruptionRobust(t *testing.T) {
+	c, gen, rng := testCompressor(t, 20, 20)
+	for trial := 0; trial < 200; trial++ {
+		tr := synthTrajectory(c, gen(rng.Intn(25)+2), rng)
+		ct, err := c.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := ct.Marshal()
+		// Random single-byte corruption or truncation.
+		mutated := append([]byte(nil), blob...)
+		switch rng.Intn(3) {
+		case 0:
+			if len(mutated) > 0 {
+				mutated[rng.Intn(len(mutated))] ^= byte(1 << uint(rng.Intn(8)))
+			}
+		case 1:
+			mutated = mutated[:rng.Intn(len(mutated)+1)]
+		case 2:
+			extra := make([]byte, rng.Intn(16))
+			rng.Read(extra)
+			mutated = append(mutated, extra...)
+		}
+		back, err := UnmarshalCompressed(mutated)
+		if err != nil {
+			continue // clean rejection
+		}
+		// Structurally parsed; decompression may fail cleanly but must not
+		// panic or loop.
+		if _, err := c.Decompress(back); err != nil {
+			continue
+		}
+	}
+}
+
+// Random garbage must never panic the decoder.
+func TestUnmarshalGarbageRobust(t *testing.T) {
+	c, _, rng := testCompressor(t, 0, 0)
+	for trial := 0; trial < 300; trial++ {
+		blob := make([]byte, rng.Intn(200))
+		rng.Read(blob)
+		back, err := UnmarshalCompressed(blob)
+		if err != nil {
+			continue
+		}
+		_, _ = c.Decompress(back)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"press/internal/bitstream"
+	"press/internal/huffman"
+	"press/internal/roadnet"
+	"press/internal/traj"
+	"press/internal/trie"
+)
+
+// Codebook is the static FST coding state of §3.2: the trie over the
+// training corpus, its Aho–Corasick automaton, and the Huffman code built
+// from the trie node frequencies. The paper constructs the Huffman tree over
+// every trie node except the root, so symbol s corresponds to NodeID s+1.
+type Codebook struct {
+	Trie *trie.Trie
+	Tree *huffman.Tree
+}
+
+// TrainOptions configures FST training.
+type TrainOptions struct {
+	NumEdges int // road network |E|
+	Theta    int // maximum sub-trajectory length θ
+}
+
+// Train mines frequent sub-trajectories from a training corpus (trajectories
+// already SP-compressed, per the paper's pipeline) and derives the Huffman
+// code. The corpus may be empty: the trie then degenerates to the complete
+// level-1 alphabet and FST coding becomes plain per-edge entropy coding.
+func Train(corpus []traj.Path, opt TrainOptions) (*Codebook, error) {
+	b, err := trie.NewBuilder(opt.NumEdges, opt.Theta)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range corpus {
+		if err := b.AddTrajectory([]roadnet.EdgeID(p)); err != nil {
+			return nil, err
+		}
+	}
+	tr := b.Finish()
+	freq := tr.Frequencies()
+	if len(freq) < 2 {
+		return nil, errors.New("core: degenerate trie")
+	}
+	tree, err := huffman.New(freq[1:]) // exclude the root
+	if err != nil {
+		return nil, err
+	}
+	return &Codebook{Trie: tr, Tree: tree}, nil
+}
+
+// symbol converts a trie node to its Huffman symbol.
+func symbol(n trie.NodeID) int { return int(n) - 1 }
+
+// node converts a Huffman symbol back to a trie node.
+func node(s int) trie.NodeID { return trie.NodeID(s + 1) }
+
+// CodeLen returns the Huffman bit length assigned to a trie node.
+func (cb *Codebook) CodeLen(n trie.NodeID) int { return cb.Tree.CodeLen(symbol(n)) }
+
+// SpatialCode is the FST-encoded spatial component: NBits Huffman bits
+// packed into Bits.
+type SpatialCode struct {
+	Bits  []byte
+	NBits int
+}
+
+// SizeBytes is the storage cost of the spatial code (bit length rounded up;
+// the serialized form adds an explicit bit-length header, accounted by the
+// codec).
+func (sc *SpatialCode) SizeBytes() int { return (sc.NBits + 7) / 8 }
+
+// EncodeNodes Huffman-codes a decomposition.
+func (cb *Codebook) EncodeNodes(nodes []trie.NodeID) (*SpatialCode, error) {
+	w := bitstream.NewWriter()
+	for _, n := range nodes {
+		if n <= trie.Root || int(n) >= cb.Trie.NumNodes() {
+			return nil, fmt.Errorf("core: node %d not encodable", n)
+		}
+		if err := cb.Tree.Encode(w, symbol(n)); err != nil {
+			return nil, err
+		}
+	}
+	return &SpatialCode{Bits: w.Bytes(), NBits: w.Len()}, nil
+}
+
+// Encode compresses an (SP-compressed) spatial path with the greedy
+// Algorithm 2 decomposition followed by Huffman coding.
+func (cb *Codebook) Encode(path traj.Path) (*SpatialCode, error) {
+	nodes, err := cb.Trie.Decompose([]roadnet.EdgeID(path))
+	if err != nil {
+		return nil, err
+	}
+	return cb.EncodeNodes(nodes)
+}
+
+// EncodeDP compresses with the optimal dynamic-programming decomposition of
+// §6.1 (Fig. 11): F_k = min_{j<k} F_j + Huf(e_{j+1..k}). It minimizes the
+// encoded bit count at O(|T|·θ) cost and exists to quantify how close the
+// greedy decomposition gets.
+func (cb *Codebook) EncodeDP(path traj.Path) (*SpatialCode, error) {
+	nodes, err := cb.DecomposeDP(path)
+	if err != nil {
+		return nil, err
+	}
+	return cb.EncodeNodes(nodes)
+}
+
+// DecomposeDP returns the bit-optimal decomposition of path into trie nodes.
+func (cb *Codebook) DecomposeDP(path traj.Path) ([]trie.NodeID, error) {
+	n := len(path)
+	if n == 0 {
+		return nil, nil
+	}
+	const inf = int(^uint(0) >> 1)
+	cost := make([]int, n+1)
+	choice := make([]trie.NodeID, n+1)
+	for i := 1; i <= n; i++ {
+		cost[i] = inf
+	}
+	theta := cb.Trie.Theta()
+	for k := 0; k < n; k++ {
+		if cost[k] == inf {
+			continue
+		}
+		// Extend every trie-present run starting at k.
+		nd := trie.Root
+		for l := 1; l <= theta && k+l <= n; l++ {
+			e := path[k+l-1]
+			if int(e) < 0 || int(e) >= cb.Trie.NumEdges() {
+				return nil, fmt.Errorf("core: edge id %d out of range", e)
+			}
+			nd = cb.Trie.Child(nd, e)
+			if nd == trie.NoNode {
+				break
+			}
+			if c := cost[k] + cb.CodeLen(nd); c < cost[k+l] {
+				cost[k+l] = c
+				choice[k+l] = nd
+			}
+		}
+	}
+	if cost[n] == inf {
+		return nil, errors.New("core: path not decomposable (corrupt trie)")
+	}
+	// Reconstruct from the back.
+	var rev []trie.NodeID
+	for k := n; k > 0; {
+		nd := choice[k]
+		rev = append(rev, nd)
+		k -= cb.Trie.Depth(nd)
+	}
+	out := make([]trie.NodeID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+// DecodeNodes recovers the trie node sequence from a spatial code.
+func (cb *Codebook) DecodeNodes(sc *SpatialCode) ([]trie.NodeID, error) {
+	r := bitstream.NewReader(sc.Bits, sc.NBits)
+	syms, err := cb.Tree.DecodeAll(r)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]trie.NodeID, len(syms))
+	for i, s := range syms {
+		nodes[i] = node(s)
+	}
+	return nodes, nil
+}
+
+// Decode recovers the (SP-compressed) spatial path from a spatial code.
+func (cb *Codebook) Decode(sc *SpatialCode) (traj.Path, error) {
+	nodes, err := cb.DecodeNodes(sc)
+	if err != nil {
+		return nil, err
+	}
+	return traj.Path(cb.Trie.Recompose(nodes)), nil
+}
+
+// NodeDecoder streams the trie nodes of a spatial code one Huffman symbol
+// at a time, so callers that stop early (the whereat query walk of §5.1)
+// only decode the prefix they need. It is a value type so query hot paths
+// can keep it on the stack.
+type NodeDecoder struct {
+	cb *Codebook
+	r  bitstream.Reader
+}
+
+// NewNodeDecoder starts a streaming decode of sc.
+func (cb *Codebook) NewNodeDecoder(sc *SpatialCode) NodeDecoder {
+	return NodeDecoder{cb: cb, r: *bitstream.NewReader(sc.Bits, sc.NBits)}
+}
+
+// Next returns the next trie node; ok=false at end of stream.
+func (d *NodeDecoder) Next() (trie.NodeID, bool, error) {
+	if d.r.Remaining() == 0 {
+		return trie.NoNode, false, nil
+	}
+	s, err := d.cb.Tree.Decode(&d.r)
+	if err != nil {
+		return trie.NoNode, false, err
+	}
+	return node(s), true, nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"press/internal/roadnet"
+	"press/internal/traj"
+	"press/internal/trie"
+)
+
+// paperCorpus is the training set of Fig. 5 (edges 0-based).
+func paperCorpus() []traj.Path {
+	e := func(is ...int) traj.Path {
+		p := make(traj.Path, len(is))
+		for i, v := range is {
+			p[i] = roadnet.EdgeID(v - 1)
+		}
+		return p
+	}
+	return []traj.Path{e(1, 5, 8, 6, 3), e(1, 5, 2, 1, 4, 8), e(2, 1, 4, 6)}
+}
+
+func trainPaper(t *testing.T) *Codebook {
+	t.Helper()
+	cb, err := Train(paperCorpus(), TrainOptions{NumEdges: 10, Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cb
+}
+
+func TestTrainPaperCorpus(t *testing.T) {
+	cb := trainPaper(t)
+	if cb.Trie.NumNodes() != 28 {
+		t.Errorf("NumNodes = %d want 28", cb.Trie.NumNodes())
+	}
+	if cb.Tree.NumSymbols() != 27 {
+		t.Errorf("Huffman symbols = %d want 27 (root excluded)", cb.Tree.NumSymbols())
+	}
+}
+
+// TestPaperTable1 replays Table 1: the example trajectory decomposes into 6
+// pieces; frequent pieces must get codes no longer than rare ones, and the
+// total must be close to the paper's 33 bits (exact code bits depend on
+// Huffman tie-breaking, the total length is what matters).
+func TestPaperTable1(t *testing.T) {
+	cb := trainPaper(t)
+	e := func(is ...int) traj.Path {
+		p := make(traj.Path, len(is))
+		for i, v := range is {
+			p[i] = roadnet.EdgeID(v - 1)
+		}
+		return p
+	}
+	input := e(1, 4, 7, 5, 8, 6, 3, 1, 5, 2, 10)
+	sc, err := cb.Encode(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's code is 33 bits; tie-breaking may shift ours by a couple.
+	if sc.NBits < 28 || sc.NBits > 38 {
+		t.Errorf("encoded length = %d bits, paper reports 33", sc.NBits)
+	}
+	back, err := cb.Decode(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(input) {
+		t.Fatalf("roundtrip mismatch: %v", back)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	cb := trainPaper(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		p := make(traj.Path, rng.Intn(50)+1)
+		for i := range p {
+			p[i] = roadnet.EdgeID(rng.Intn(10))
+		}
+		sc, err := cb.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := cb.Decode(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("roundtrip mismatch for %v", p)
+		}
+	}
+}
+
+func TestDPNeverWorseThanGreedy(t *testing.T) {
+	cb := trainPaper(t)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		p := make(traj.Path, rng.Intn(40)+1)
+		for i := range p {
+			p[i] = roadnet.EdgeID(rng.Intn(10))
+		}
+		greedy, err := cb.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := cb.EncodeDP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.NBits > greedy.NBits {
+			t.Fatalf("DP %d bits > greedy %d bits for %v", dp.NBits, greedy.NBits, p)
+		}
+		back, err := cb.Decode(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("DP roundtrip mismatch for %v", p)
+		}
+	}
+}
+
+// DP optimality: brute-force over all decompositions on short paths.
+func TestDPIsOptimal(t *testing.T) {
+	cb := trainPaper(t)
+	var best func(p traj.Path) int
+	best = func(p traj.Path) int {
+		if len(p) == 0 {
+			return 0
+		}
+		const inf = 1 << 30
+		min := inf
+		for l := 1; l <= cb.Trie.Theta() && l <= len(p); l++ {
+			n := cb.Trie.Lookup([]roadnet.EdgeID(p[:l]))
+			if n == trie.NoNode {
+				continue
+			}
+			if c := cb.CodeLen(n) + best(p[l:]); c < min {
+				min = c
+			}
+		}
+		return min
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		p := make(traj.Path, rng.Intn(10)+1)
+		for i := range p {
+			p[i] = roadnet.EdgeID(rng.Intn(10))
+		}
+		dp, err := cb.EncodeDP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := best(p); dp.NBits != want {
+			t.Fatalf("DP %d bits, brute force %d for %v", dp.NBits, want, p)
+		}
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	cb, err := Train(nil, TrainOptions{NumEdges: 6, Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerates to per-edge coding but must still round-trip.
+	p := traj.Path{0, 5, 2, 2, 1}
+	sc, err := cb.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := cb.Decode(sc)
+	if err != nil || !back.Equal(p) {
+		t.Fatalf("roundtrip on empty-corpus codebook failed: %v (%v)", back, err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{NumEdges: 0, Theta: 3}); err == nil {
+		t.Error("zero edges accepted")
+	}
+	if _, err := Train([]traj.Path{{99}}, TrainOptions{NumEdges: 5, Theta: 3}); err == nil {
+		t.Error("out-of-range training edge accepted")
+	}
+}
+
+func TestFrequentPiecesGetShortCodes(t *testing.T) {
+	// A corpus dominated by one sub-trajectory: its node must receive a code
+	// strictly shorter than a never-seen level-1 edge.
+	var corpus []traj.Path
+	for i := 0; i < 50; i++ {
+		corpus = append(corpus, traj.Path{0, 1, 2})
+	}
+	cb, err := Train(corpus, TrainOptions{NumEdges: 8, Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := cb.Trie.Lookup([]roadnet.EdgeID{0, 1, 2})
+	cold := cb.Trie.Lookup([]roadnet.EdgeID{7})
+	if hot == trie.NoNode || cold == trie.NoNode {
+		t.Fatal("lookup failed")
+	}
+	if cb.CodeLen(hot) >= cb.CodeLen(cold) {
+		t.Errorf("hot code %d bits >= cold code %d bits", cb.CodeLen(hot), cb.CodeLen(cold))
+	}
+}
+
+func TestEncodeNodesRejectsRoot(t *testing.T) {
+	cb := trainPaper(t)
+	if _, err := cb.EncodeNodes([]trie.NodeID{trie.Root}); err == nil {
+		t.Error("root node accepted")
+	}
+	if _, err := cb.EncodeNodes([]trie.NodeID{trie.NodeID(cb.Trie.NumNodes())}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestEmptyPathEncode(t *testing.T) {
+	cb := trainPaper(t)
+	sc, err := cb.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NBits != 0 || sc.SizeBytes() != 0 {
+		t.Errorf("empty encode = %d bits", sc.NBits)
+	}
+	back, err := cb.Decode(sc)
+	if err != nil || len(back) != 0 {
+		t.Errorf("empty decode = %v (%v)", back, err)
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"math/rand"
+
+	"press/internal/geo"
+	"press/internal/traj"
+)
+
+func pt(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }
+
+// randTemporal generates a temporal sequence with realistic structure:
+// variable speeds, plus stop plateaus (a taxi waiting) with probability
+// stopProb per step.
+func randTemporal(rng *rand.Rand, n int, stopProb float64) traj.Temporal {
+	ts := traj.Temporal{{D: 0, T: 0}}
+	d, t := 0.0, 0.0
+	for i := 1; i < n; i++ {
+		t += 1 + rng.Float64()*29
+		if rng.Float64() >= stopProb {
+			d += rng.Float64() * 400
+		}
+		ts = append(ts, traj.Entry{D: d, T: t})
+	}
+	return ts
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+// HSC is the Hybrid Spatial Compressor of §3.3: stage one replaces
+// shortest-path runs by their endpoints (SPCompress), stage two encodes the
+// result with the FST codebook. Both stages and their inverses are O(|T|),
+// and the whole pipeline is lossless.
+type HSC struct {
+	SP *spindex.Table
+	CB *Codebook
+}
+
+// NewHSC bundles a shortest-path table and a trained codebook.
+func NewHSC(sp *spindex.Table, cb *Codebook) *HSC { return &HSC{SP: sp, CB: cb} }
+
+// Compress runs both stages on a full spatial path.
+func (h *HSC) Compress(path traj.Path) (*SpatialCode, error) {
+	return h.CB.Encode(SPCompress(h.SP, path))
+}
+
+// CompressDP is Compress with the optimal DP decomposition in stage two.
+func (h *HSC) CompressDP(path traj.Path) (*SpatialCode, error) {
+	return h.CB.EncodeDP(SPCompress(h.SP, path))
+}
+
+// Decompress inverts Compress, recovering the exact original edge sequence.
+func (h *HSC) Decompress(sc *SpatialCode) (traj.Path, error) {
+	spPath, err := h.CB.Decode(sc)
+	if err != nil {
+		return nil, err
+	}
+	return SPDecompress(h.SP, spPath)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"press/internal/traj"
+)
+
+func trainedHSC(t *testing.T, seed int64) (*HSC, func(int) traj.Path) {
+	t.Helper()
+	g, tab := testGrid(t)
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(n int) traj.Path { return randomWalk(g, rng, n) }
+	// Training corpus: SP-compressed walks, as the paper's pipeline does.
+	var corpus []traj.Path
+	for i := 0; i < 60; i++ {
+		corpus = append(corpus, SPCompress(tab, gen(rng.Intn(30)+2)))
+	}
+	cb, err := Train(corpus, TrainOptions{NumEdges: g.NumEdges(), Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHSC(tab, cb), gen
+}
+
+func TestHSCLosslessRoundTrip(t *testing.T) {
+	h, gen := trainedHSC(t, 21)
+	for trial := 0; trial < 200; trial++ {
+		path := gen(trial%45 + 1)
+		sc, err := h.Compress(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := h.Decompress(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(path) {
+			t.Fatalf("HSC roundtrip mismatch:\n in  %v\n out %v", path, back)
+		}
+	}
+}
+
+func TestHSCDPRoundTripAndNotWorse(t *testing.T) {
+	h, gen := trainedHSC(t, 22)
+	for trial := 0; trial < 100; trial++ {
+		path := gen(trial%40 + 1)
+		greedy, err := h.Compress(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := h.CompressDP(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.NBits > greedy.NBits {
+			t.Fatalf("DP encoding larger than greedy")
+		}
+		back, err := h.Decompress(dp)
+		if err != nil || !back.Equal(path) {
+			t.Fatalf("DP roundtrip mismatch (%v)", err)
+		}
+	}
+}
+
+func TestHSCCompresses(t *testing.T) {
+	h, gen := trainedHSC(t, 23)
+	var rawBytes, compBytes int
+	for trial := 0; trial < 100; trial++ {
+		path := gen(30)
+		sc, err := h.Compress(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawBytes += path.SizeBytes()
+		compBytes += sc.SizeBytes()
+	}
+	if compBytes >= rawBytes {
+		t.Errorf("HSC did not compress: %d -> %d bytes", rawBytes, compBytes)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"press/internal/traj"
+)
+
+// TSND computes the exact Time Synchronized Network Distance (Definition 1)
+// between an original temporal sequence and its compressed form: the maximum
+// over all times of the absolute difference in traveled distance. Both
+// sequences are piecewise linear, so the maximum is attained at a breakpoint
+// of either.
+func TSND(orig, comp traj.Temporal) float64 {
+	var maxDiff float64
+	check := func(t float64) {
+		d := orig.Dis(t) - comp.Dis(t)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	for _, e := range orig {
+		check(e.T)
+	}
+	for _, e := range comp {
+		check(e.T)
+	}
+	return maxDiff
+}
+
+// timLast returns the last time at which the sequence is at distance dx
+// (the end of a plateau when one exists). Together with traj.Temporal.Tim
+// (first arrival) it brackets the set-valued inverse on plateaus.
+func timLast(ts traj.Temporal, dx float64) float64 {
+	n := len(ts)
+	if n == 0 {
+		return 0
+	}
+	if dx >= ts[n-1].D {
+		return ts[n-1].T
+	}
+	if dx < ts[0].D {
+		return ts[0].T
+	}
+	// Rightmost index j with ts[j].D <= dx.
+	j := sort.Search(n, func(i int) bool { return ts[i].D > dx }) - 1
+	if ts[j].D == dx {
+		return ts[j].T
+	}
+	a, b := ts[j], ts[j+1]
+	if b.D == a.D {
+		return b.T
+	}
+	return a.T + (b.T-a.T)*(dx-a.D)/(b.D-a.D)
+}
+
+// NSTD computes the exact Network Synchronized Time Difference
+// (Definition 2): the maximum over all distances of the absolute difference
+// in arrival time. Arrival time is set-valued on plateaus (a stopped
+// vehicle), so both the first-arrival and last-arrival differences are
+// evaluated at every distance breakpoint of either sequence, which covers
+// both one-sided limits of the piecewise-linear difference.
+func NSTD(orig, comp traj.Temporal) float64 {
+	var maxDiff float64
+	check := func(d float64) {
+		f := orig.Tim(d) - comp.Tim(d)
+		if f < 0 {
+			f = -f
+		}
+		if f > maxDiff {
+			maxDiff = f
+		}
+		l := timLast(orig, d) - timLast(comp, d)
+		if l < 0 {
+			l = -l
+		}
+		if l > maxDiff {
+			maxDiff = l
+		}
+	}
+	for _, e := range orig {
+		check(e.D)
+	}
+	for _, e := range comp {
+		check(e.D)
+	}
+	return maxDiff
+}

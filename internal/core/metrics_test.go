@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"press/internal/traj"
+)
+
+func TestTSNDIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		ts := randTemporal(rng, 30, 0.3)
+		if got := TSND(ts, ts); got != 0 {
+			t.Fatalf("TSND(T,T) = %v", got)
+		}
+		if got := NSTD(ts, ts); got != 0 {
+			t.Fatalf("NSTD(T,T) = %v", got)
+		}
+	}
+}
+
+func TestTSNDHandComputed(t *testing.T) {
+	orig := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 10}, {D: 200, T: 20}}
+	// Skip the middle point: the compressed line passes through (100, 10)
+	// exactly, so TSND is 0.
+	comp := traj.Temporal{{D: 0, T: 0}, {D: 200, T: 20}}
+	if got := TSND(orig, comp); got > 1e-12 {
+		t.Errorf("collinear TSND = %v", got)
+	}
+	// A detoured original: at t=10 orig is at 150, comp interpolates 100.
+	orig2 := traj.Temporal{{D: 0, T: 0}, {D: 150, T: 10}, {D: 200, T: 20}}
+	if got := TSND(orig2, comp); math.Abs(got-50) > 1e-12 {
+		t.Errorf("TSND = %v want 50", got)
+	}
+}
+
+func TestNSTDHandComputed(t *testing.T) {
+	// Original waits 40 s at d=100 (from t=10 to t=50), then jumps on.
+	orig := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 10}, {D: 100, T: 50}, {D: 200, T: 60}}
+	// Compressed drops the plateau start: chord (0,0)->(100,50).
+	comp := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 50}, {D: 200, T: 60}}
+	// First arrival at d=100: orig 10, comp 50 -> diff 40.
+	if got := NSTD(orig, comp); math.Abs(got-40) > 1e-12 {
+		t.Errorf("NSTD = %v want 40", got)
+	}
+}
+
+func TestNSTDPlateauExitSide(t *testing.T) {
+	// Compressed drops the plateau END: chord (100,10) -> (200,70) leaves
+	// d=100 at t=10 while the original leaves at t=50. First-arrival times
+	// at d=100 agree (both 10), but just above d=100 they differ by ~40,
+	// which the last-arrival check must catch.
+	orig := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 10}, {D: 100, T: 50}, {D: 200, T: 70}}
+	comp := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 10}, {D: 200, T: 70}}
+	got := NSTD(orig, comp)
+	if math.Abs(got-40) > 1e-9 {
+		t.Errorf("NSTD = %v want 40", got)
+	}
+}
+
+func TestTSNDAsymmetricBreakpoints(t *testing.T) {
+	// Max difference occurs at a breakpoint of the COMPRESSED sequence.
+	orig := traj.Temporal{{D: 0, T: 0}, {D: 400, T: 40}}
+	comp := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 30}, {D: 400, T: 40}}
+	// At t=30: orig = 300, comp = 100.
+	if got := TSND(orig, comp); math.Abs(got-200) > 1e-12 {
+		t.Errorf("TSND = %v want 200", got)
+	}
+}
+
+func TestTimLast(t *testing.T) {
+	ts := traj.Temporal{{D: 0, T: 0}, {D: 100, T: 10}, {D: 100, T: 50}, {D: 200, T: 60}, {D: 200, T: 90}}
+	tests := []struct{ d, want float64 }{
+		{d: -1, want: 0},
+		{d: 0, want: 0},
+		{d: 50, want: 5},
+		{d: 100, want: 50}, // plateau end, not start
+		{d: 150, want: 55},
+		{d: 200, want: 90}, // final plateau end
+		{d: 999, want: 90},
+	}
+	for _, tc := range tests {
+		if got := timLast(ts, tc.d); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("timLast(%v) = %v want %v", tc.d, got, tc.want)
+		}
+	}
+	if got := timLast(nil, 5); got != 0 {
+		t.Errorf("timLast(empty) = %v", got)
+	}
+}
+
+// Metric sanity: TSND and NSTD are symmetric-ish lower-bounded by 0 and
+// respond to scaling.
+func TestMetricScaling(t *testing.T) {
+	orig := traj.Temporal{{D: 0, T: 0}, {D: 200, T: 10}, {D: 300, T: 30}}
+	comp := traj.Temporal{{D: 0, T: 0}, {D: 300, T: 30}}
+	base := TSND(orig, comp)
+	if base <= 0 {
+		t.Fatalf("expected positive TSND, got %v", base)
+	}
+	// Doubling the detour doubles the error.
+	orig2 := traj.Temporal{{D: 0, T: 0}, {D: 400, T: 10}, {D: 600, T: 30}}
+	comp2 := traj.Temporal{{D: 0, T: 0}, {D: 600, T: 30}}
+	if got := TSND(orig2, comp2); math.Abs(got-2*base) > 1e-9 {
+		t.Errorf("scaled TSND = %v want %v", got, 2*base)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+// The paper notes (§7.2) that "the compression procedure scans the spatial
+// path and temporal sequence from head to tail without tracing back. This
+// means PRESS can be adapted to online compression." OnlineSP and OnlineBTC
+// are those adaptations: both consume one element at a time in O(1)
+// amortized work and emit retained elements as soon as they are final.
+
+// OnlineSP is the streaming form of Algorithm 1: push edges as the vehicle
+// traverses them; retained edges are emitted as soon as the shortest-path
+// window breaks. Flush emits the final edge.
+type OnlineSP struct {
+	sp     *spindex.Table
+	anchor roadnet.EdgeID
+	prev   roadnet.EdgeID
+	n      int
+	emit   func(roadnet.EdgeID)
+}
+
+// NewOnlineSP creates a streaming SP compressor; emit receives each
+// retained edge in order.
+func NewOnlineSP(sp *spindex.Table, emit func(roadnet.EdgeID)) *OnlineSP {
+	return &OnlineSP{sp: sp, anchor: roadnet.NoEdge, prev: roadnet.NoEdge, emit: emit}
+}
+
+// Push feeds the next traversed edge.
+func (o *OnlineSP) Push(e roadnet.EdgeID) {
+	o.n++
+	switch o.n {
+	case 1:
+		o.emit(e)
+		o.anchor = e
+	case 2:
+		o.prev = e
+	default:
+		if o.sp.SPEnd(o.anchor, e) != o.prev {
+			o.emit(o.prev)
+			o.anchor = o.prev
+		}
+		o.prev = e
+	}
+}
+
+// Flush emits the trailing edge. The stream may continue afterwards only
+// after a Reset.
+func (o *OnlineSP) Flush() {
+	if o.n >= 2 {
+		o.emit(o.prev)
+	}
+}
+
+// Reset prepares the compressor for a new trajectory.
+func (o *OnlineSP) Reset() {
+	o.anchor, o.prev, o.n = roadnet.NoEdge, roadnet.NoEdge, 0
+}
+
+// OnlineBTC is the streaming form of Algorithm 3: push (d, t) tuples as
+// they are sampled; retained tuples are emitted as soon as the angular
+// range collapses. The same TSND/NSTD guarantees hold for the emitted
+// sequence.
+type OnlineBTC struct {
+	tau, eta float64
+	emit     func(traj.Entry)
+
+	n       int
+	anchor  traj.Entry
+	prev    traj.Entry
+	lo, hi  float64
+	flatEnd float64
+}
+
+// NewOnlineBTC creates a streaming temporal compressor with the given
+// bounds; emit receives each retained tuple in order.
+func NewOnlineBTC(tau, eta float64, emit func(traj.Entry)) *OnlineBTC {
+	o := &OnlineBTC{tau: tau, eta: eta, emit: emit}
+	o.resetWindow(traj.Entry{})
+	return o
+}
+
+func (o *OnlineBTC) resetWindow(anchor traj.Entry) {
+	o.anchor = anchor
+	o.lo, o.hi = 0, math.Inf(1)
+	o.flatEnd = math.Inf(-1)
+}
+
+// Push feeds the next temporal tuple. Tuples must arrive with strictly
+// increasing T and non-decreasing D.
+func (o *OnlineBTC) Push(p traj.Entry) {
+	o.n++
+	if o.n == 1 {
+		o.emit(p)
+		o.resetWindow(p)
+		o.prev = p
+		return
+	}
+	const eps = 1e-9
+	for {
+		dt := p.T - o.anchor.T
+		dd := p.D - o.anchor.D
+		s := dd / dt
+		ok := s >= o.lo-eps && s <= o.hi+eps
+		if ok && dd > 0 && !math.IsInf(o.flatEnd, -1) && o.flatEnd-o.anchor.T > o.eta+eps {
+			ok = false
+		}
+		if ok {
+			o.shrink(p, dt, dd)
+			o.prev = p
+			return
+		}
+		// Retain prev, restart the window from it and re-evaluate p.
+		o.emit(o.prev)
+		o.resetWindow(o.prev)
+	}
+}
+
+func (o *OnlineBTC) shrink(p traj.Entry, dt, dd float64) {
+	if l1 := (dd - o.tau) / dt; l1 > o.lo {
+		o.lo = l1
+	}
+	if h1 := (dd + o.tau) / dt; h1 < o.hi {
+		o.hi = h1
+	}
+	if dd > 0 {
+		if l2 := dd / (dt + o.eta); l2 > o.lo {
+			o.lo = l2
+		}
+		if dt-o.eta > 0 {
+			if h2 := dd / (dt - o.eta); h2 < o.hi {
+				o.hi = h2
+			}
+		}
+	} else if p.T > o.flatEnd {
+		o.flatEnd = p.T
+	}
+}
+
+// Flush emits the trailing tuple; call once at end of stream.
+func (o *OnlineBTC) Flush() {
+	if o.n >= 2 {
+		o.emit(o.prev)
+	}
+}
+
+// Reset prepares the compressor for a new trajectory.
+func (o *OnlineBTC) Reset() {
+	o.n = 0
+	o.resetWindow(traj.Entry{})
+}

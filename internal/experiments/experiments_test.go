@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"press/internal/gen"
+	"press/internal/query"
+)
+
+// smallEnv is shared across the experiment tests (generation is the
+// expensive part).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		opt := gen.Options{
+			City:  gen.CityOptions{Rows: 7, Cols: 7, Spacing: 180, PosJitter: 0.15, RemoveEdgeProb: 0.05, Seed: 21},
+			Trips: gen.DefaultTrips(30),
+			GPS:   gen.DefaultGPS(),
+		}
+		envVal, envErr = NewEnvOptions(30, 3, opt)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func smallEngine(t *testing.T, env *Env) *query.Engine {
+	t.Helper()
+	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestFigureFormat(t *testing.T) {
+	f := &Figure{
+		ID: "x", Title: "demo", XLabel: "n",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{5}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := f.Format()
+	for _, want := range []string{"demo", "a", "b", "hello", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig10a(t *testing.T) {
+	env := smallEnv(t)
+	fig, err := RunFig10a(env, []float64{10, 30, 60}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].Y) != 3 {
+		t.Fatalf("series shape wrong: %+v", fig.Series)
+	}
+	for _, y := range fig.Series[0].Y {
+		if y < 1 {
+			t.Errorf("matched-path SP ratio %v < 1", y)
+		}
+	}
+}
+
+func TestRunFig10bAnd11(t *testing.T) {
+	env := smallEnv(t)
+	thetas := []int{1, 2, 3, 4}
+	fig, err := RunFig10b(env, thetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// theta=1 is plain per-edge Huffman; larger theta must beat it.
+	if fig.Series[0].Y[2] <= fig.Series[0].Y[0] {
+		t.Errorf("theta=3 ratio %v not above theta=1 ratio %v", fig.Series[0].Y[2], fig.Series[0].Y[0])
+	}
+	figA, err := RunFig11a(env, thetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range thetas {
+		g, d := figA.Series[0].Y[i], figA.Series[1].Y[i]
+		if d < g-1e-9 {
+			t.Errorf("theta=%d: DP ratio %v below greedy %v", thetas[i], d, g)
+		}
+		if g < d*0.9 {
+			t.Errorf("theta=%d: greedy ratio %v more than 10%% below DP %v", thetas[i], g, d)
+		}
+	}
+	figB, err := RunFig11b(env, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figB.Series) != 2 {
+		t.Fatal("fig11b series missing")
+	}
+}
+
+func TestRunFig12(t *testing.T) {
+	env := smallEnv(t)
+	bounds := []float64{0, 100, 1000}
+	a, err := RunFig12a(env, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio grows along both axes; corner checks.
+	first := a.Series[0].Y[0] // (tau=0, eta=0)
+	last := a.Series[2].Y[2]  // (tau=1000, eta=1000)
+	if first < 1 {
+		t.Errorf("BTC ratio at (0,0) = %v < 1", first)
+	}
+	if last <= first {
+		t.Errorf("BTC ratio did not grow: %v -> %v", first, last)
+	}
+	b, err := RunFig12b(env, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Series[0].Y[0] <= 1 {
+		t.Errorf("PRESS overall ratio at (0,0) = %v, want > 1", b.Series[0].Y[0])
+	}
+	if b.Series[2].Y[2] <= b.Series[0].Y[0] {
+		t.Errorf("PRESS ratio did not grow with bounds")
+	}
+}
+
+func TestRunFig13(t *testing.T) {
+	env := smallEnv(t)
+	compFig, decFig, err := RunFig13(env, []int{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compFig.Series) != 3 || len(decFig.Series) != 2 {
+		t.Fatal("series counts wrong")
+	}
+	// MMTC must be slower than PRESS at the largest count.
+	pressT := compFig.Series[0].Y[1]
+	mmtcT := compFig.Series[2].Y[1]
+	if mmtcT <= pressT {
+		t.Errorf("MMTC (%v ms) not slower than PRESS (%v ms)", mmtcT, pressT)
+	}
+}
+
+func TestRunFig14(t *testing.T) {
+	env := smallEnv(t)
+	fig, err := RunFig14(env, []float64{0, 500, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	press, nm, mmtc, zip := fig.Series[0], fig.Series[1], fig.Series[2], fig.Series[3]
+	for i := range press.X {
+		if press.Y[i] <= nm.Y[i] {
+			t.Errorf("TSED=%v: PRESS %v not above Nonmaterial %v", press.X[i], press.Y[i], nm.Y[i])
+		}
+		if press.Y[i] <= mmtc.Y[i] {
+			t.Errorf("TSED=%v: PRESS %v not above MMTC %v", press.X[i], press.Y[i], mmtc.Y[i])
+		}
+	}
+	if press.Y[2] <= press.Y[0] {
+		t.Error("PRESS ratio flat in TSED")
+	}
+	if zip.Y[0] <= 1 {
+		t.Errorf("ZIP ratio %v <= 1", zip.Y[0])
+	}
+}
+
+func TestRunFig15To17(t *testing.T) {
+	env := smallEnv(t)
+	eng := smallEngine(t, env)
+	f15, err := RunFig15(env, eng, []float64{0, 100}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f15.Series) != 3 || len(f15.Series[0].Y) != 2 {
+		t.Fatal("fig15 shape wrong")
+	}
+	f16, err := RunFig16(env, eng, []float64{0, 30}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f16.Series) != 3 {
+		t.Fatal("fig16 shape wrong")
+	}
+	f17, err := RunFig17(env, eng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSeries := f17.Series[3]
+	for i, a := range accSeries.Y {
+		if a < 0.8 || a > 1.0+1e-9 {
+			t.Errorf("range accuracy[%d] = %v outside [0.8, 1]", i, a)
+		}
+	}
+	// At zero deviation range answers must agree perfectly.
+	if accSeries.Y[0] != 1 {
+		t.Errorf("range accuracy at deviation 0 = %v, want exactly 1", accSeries.Y[0])
+	}
+}
+
+func TestRunAuxSizes(t *testing.T) {
+	env := smallEnv(t)
+	eng := smallEngine(t, env)
+	fig, err := RunAuxSizes(env, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := fig.Series[0].Y
+	if len(ys) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(ys))
+	}
+	for i, y := range ys {
+		if y <= 0 {
+			t.Errorf("row %d not positive: %v", i+1, y)
+		}
+	}
+	// Compression must shrink the fleet.
+	if ys[1] >= ys[0] {
+		t.Errorf("compressed fleet %v >= raw %v", ys[1], ys[0])
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	env := smallEnv(t)
+	fig, err := RunAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := fig.Series[0].Y
+	sp, fst, hsc, dp := ys[0], ys[1], ys[2], ys[3]
+	if sp <= 1 {
+		t.Errorf("SP-only ratio %v <= 1", sp)
+	}
+	if fst <= 1 {
+		t.Errorf("FST-only ratio %v <= 1", fst)
+	}
+	if hsc <= sp || hsc <= fst {
+		t.Errorf("HSC %v should beat both stages alone (SP %v, FST %v)", hsc, sp, fst)
+	}
+	if dp < hsc-1e-9 {
+		t.Errorf("DP arm %v below greedy %v", dp, hsc)
+	}
+}
+
+func TestRunQueryScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	fig, err := RunQueryScaling([]int{1, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 || len(fig.Series[0].Y) != 2 {
+		t.Fatalf("shape wrong: %+v", fig.Series)
+	}
+	// Average trajectory length must grow with legs.
+	if fig.Series[3].Y[1] <= fig.Series[3].Y[0] {
+		t.Error("legs did not lengthen trajectories")
+	}
+}

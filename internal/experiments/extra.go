@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"press/internal/core"
+	"press/internal/gen"
+	"press/internal/query"
+)
+
+// RunAblation quantifies each stage's contribution to the spatial
+// compression ratio — the design-choice ablation DESIGN.md calls for:
+//
+//   - SP-only: shortest-path compression, edges stored as int32;
+//   - FST-only: frequent-sub-trajectory coding applied directly to the raw
+//     edge path (no SP stage);
+//   - HSC: both stages (the paper's design);
+//   - HSC-DP: both stages with the optimal DP decomposition.
+//
+// All ratios are raw-edge-path bytes over compressed bytes.
+func RunAblation(env *Env) (*Figure, error) {
+	var rawBytes, spBytes, fstBytes, hscBytes, dpBytes int
+	fstCB, err := env.RetrainTheta(env.Theta) // same θ, trained corpus
+	if err != nil {
+		return nil, err
+	}
+	// An FST codebook trained on *uncompressed* paths for the FST-only arm
+	// (its trie must reflect the distribution it will code).
+	rawTrained, err := core.Train(env.DS.Trips[:len(env.DS.Trips)/2],
+		core.TrainOptions{NumEdges: env.DS.Graph.NumEdges(), Theta: env.Theta})
+	if err != nil {
+		return nil, err
+	}
+	for _, trip := range env.DS.Trips {
+		rawBytes += trip.SizeBytes()
+		sp := core.SPCompress(env.Tab, trip)
+		spBytes += sp.SizeBytes()
+		fstOnly, err := rawTrained.Encode(trip)
+		if err != nil {
+			return nil, err
+		}
+		fstBytes += fstOnly.SizeBytes()
+		hsc, err := fstCB.Encode(sp)
+		if err != nil {
+			return nil, err
+		}
+		hscBytes += hsc.SizeBytes()
+		dp, err := fstCB.EncodeDP(sp)
+		if err != nil {
+			return nil, err
+		}
+		dpBytes += dp.SizeBytes()
+	}
+	return &Figure{
+		ID: "ablation", Title: "Spatial compression ablation (ratio vs raw edge path)",
+		XLabel: "arm",
+		Series: []Series{{
+			Name: "ratio",
+			X:    []float64{1, 2, 3, 4},
+			Y: []float64{
+				ratio(rawBytes, spBytes),
+				ratio(rawBytes, fstBytes),
+				ratio(rawBytes, hscBytes),
+				ratio(rawBytes, dpBytes),
+			},
+		}},
+		Notes: []string{
+			"arms: 1=SP-only, 2=FST-only, 3=HSC greedy (paper design), 4=HSC with DP decomposition",
+			"paper: SP ~1.52x, FST ~3.05x, combined ~4.64x — the stages multiply",
+		},
+	}, nil
+}
+
+// RunQueryScaling sweeps trajectory length (trip legs) and reports the
+// compressed/raw time ratio per query type. The paper's Fig. 15-17 speedups
+// assume hours-long taxi trajectories; this experiment shows where the
+// crossover sits on synthetic data: raw scans grow linearly with trajectory
+// length while compressed walks grow with the (much shorter) code length.
+func RunQueryScaling(legsList []int, perTraj int) (*Figure, error) {
+	if len(legsList) == 0 {
+		legsList = []int{1, 2, 4, 8}
+	}
+	if perTraj <= 0 {
+		perTraj = 6
+	}
+	whereat := Series{Name: "whereat"}
+	whenat := Series{Name: "whenat"}
+	rangeq := Series{Name: "range"}
+	avgLen := Series{Name: "edges/traj"}
+	for _, legs := range legsList {
+		opt := gen.Options{
+			City:  gen.CityOptions{Rows: 12, Cols: 12, Spacing: 200, PosJitter: 0.2, RemoveEdgeProb: 0.08, Seed: 31},
+			Trips: gen.DefaultTrips(40),
+			GPS:   gen.DefaultGPS(),
+		}
+		opt.Trips.Legs = legs
+		env, err := NewEnvOptions(40, 3, opt)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
+		if err != nil {
+			return nil, err
+		}
+		fleet, err := compressFleet(env, 100, 60, 100)
+		if err != nil {
+			return nil, err
+		}
+		w := buildWorkload(env, perTraj, int64(101+legs))
+		var totalEdges int
+		for _, tr := range env.DS.Truth {
+			totalEdges += len(tr.Path)
+		}
+
+		rawW := timeIt(func() {
+			for i, tr := range env.DS.Truth {
+				for _, t := range w.times[i] {
+					query.WhereAtRaw(env.DS.Graph, tr, t)
+				}
+			}
+		})
+		cmpW := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, t := range w.times[i] {
+					if _, err := eng.WhereAt(fleet.press[i], t); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		rawN := timeIt(func() {
+			for i, tr := range env.DS.Truth {
+				for _, p := range w.points[i] {
+					if _, err := query.WhenAtRaw(env.DS.Graph, tr, p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		cmpN := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, p := range w.points[i] {
+					if _, err := eng.WhenAt(fleet.press[i], p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		rawR := timeIt(func() {
+			for i, tr := range env.DS.Truth {
+				for q := range w.boxes[i] {
+					sp := w.spans[i][q]
+					query.RangeRaw(env.DS.Graph, tr, sp[0], sp[1], w.boxes[i][q])
+				}
+			}
+		})
+		cmpR := timeIt(func() {
+			for i := range env.DS.Truth {
+				for q := range w.boxes[i] {
+					sp := w.spans[i][q]
+					if _, err := eng.Range(fleet.press[i], sp[0], sp[1], w.boxes[i][q]); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		x := float64(legs)
+		whereat.X = append(whereat.X, x)
+		whereat.Y = append(whereat.Y, float64(cmpW)/float64(rawW))
+		whenat.X = append(whenat.X, x)
+		whenat.Y = append(whenat.Y, float64(cmpN)/float64(rawN))
+		rangeq.X = append(rangeq.X, x)
+		rangeq.Y = append(rangeq.Y, float64(cmpR)/float64(rawR))
+		avgLen.X = append(avgLen.X, x)
+		avgLen.Y = append(avgLen.Y, float64(totalEdges)/float64(len(env.DS.Truth)))
+	}
+	return &Figure{
+		ID: "qscale", Title: "Query time ratio vs trajectory length (extension)",
+		XLabel: "trip legs", YLabel: "t(compressed)/t(raw)",
+		Series: []Series{whereat, whenat, rangeq, avgLen},
+		Notes: []string{
+			"ratios below 1 mean the compressed query is faster; longer trajectories",
+			"  favor PRESS because raw scans are O(n) while code walks are O(n/alpha*gamma)",
+		},
+	}, nil
+}

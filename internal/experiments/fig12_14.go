@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/baseline"
+	"press/internal/core"
+)
+
+// DefaultBounds is the TSND/NSTD sweep of Fig. 12 (meters / seconds).
+var DefaultBounds = []float64{0, 10, 20, 50, 100, 200, 400, 600, 800, 1000}
+
+// RunFig12a reproduces Fig. 12(a): BTC tuple-count compression ratio over
+// the TSND × NSTD grid. One series per NSTD value, x-axis TSND.
+func RunFig12a(env *Env, bounds []float64) (*Figure, error) {
+	if len(bounds) == 0 {
+		bounds = DefaultBounds
+	}
+	fig := &Figure{
+		ID: "fig12a", Title: "BTC compression ratio vs TSND and NSTD",
+		XLabel: "TSND (m)", YLabel: "tuple compression ratio",
+		Notes: []string{
+			"paper: 1.1 at (0,0) from stationary samples; 6.49 at (1000,1000)",
+		},
+	}
+	for _, eta := range bounds {
+		s := Series{Name: fmt.Sprintf("NSTD=%g", eta)}
+		for _, tau := range bounds {
+			var orig, comp int
+			for _, tr := range env.DS.Truth {
+				out := core.BTC(tr.Temporal, tau, eta)
+				orig += len(tr.Temporal)
+				comp += len(out)
+			}
+			s.X = append(s.X, tau)
+			s.Y = append(s.Y, ratio(orig, comp))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig12b reproduces Fig. 12(b): the overall PRESS compression ratio —
+// raw (x, y, t) bytes over serialized compressed bytes — over the same
+// TSND × NSTD grid.
+func RunFig12b(env *Env, bounds []float64) (*Figure, error) {
+	if len(bounds) == 0 {
+		bounds = DefaultBounds
+	}
+	fig := &Figure{
+		ID: "fig12b", Title: "PRESS overall compression ratio vs TSND and NSTD",
+		XLabel: "TSND (m)", YLabel: "compression ratio",
+		Notes: []string{
+			"paper: 2.71 at (0,0) (63% saved); 8.52 at (1000,1000)",
+		},
+	}
+	raw := env.RawBytesTotal()
+	for _, eta := range bounds {
+		s := Series{Name: fmt.Sprintf("NSTD=%g", eta)}
+		for _, tau := range bounds {
+			c, err := env.Compressor(tau, eta)
+			if err != nil {
+				return nil, err
+			}
+			cts, err := c.CompressAll(env.DS.Truth)
+			if err != nil {
+				return nil, err
+			}
+			var compBytes int
+			for _, ct := range cts {
+				compBytes += ct.SizeBytes()
+			}
+			s.X = append(s.X, tau)
+			s.Y = append(s.Y, ratio(raw, compBytes))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig13 reproduces Fig. 13: compression and decompression time versus
+// the number of trajectories for PRESS, Nonmaterial and MMTC (MMTC has no
+// decompression). Returns the two panels.
+func RunFig13(env *Env, counts []int) (*Figure, *Figure, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 10, 50, 100, 200}
+	}
+	pressC := Series{Name: "PRESS-ms"}
+	nmC := Series{Name: "Nonmaterial-ms"}
+	mmtcC := Series{Name: "MMTC-ms"}
+	pressD := Series{Name: "PRESS-ms"}
+	nmD := Series{Name: "Nonmaterial-ms"}
+
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		return nil, nil, err
+	}
+	nm := &baseline.Nonmaterial{G: env.DS.Graph}
+	mm := &baseline.MMTC{G: env.DS.Graph, SP: env.Tab}
+	const eps = 100.0
+
+	for _, n := range counts {
+		if n > len(env.DS.Truth) {
+			n = len(env.DS.Truth)
+		}
+		batch := env.DS.Truth[:n]
+
+		start := time.Now()
+		cts := make([]*core.Compressed, n)
+		for i, tr := range batch {
+			ct, err := comp.Compress(tr)
+			if err != nil {
+				return nil, nil, err
+			}
+			cts[i] = ct
+		}
+		pressC.X = append(pressC.X, float64(n))
+		pressC.Y = append(pressC.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		nmcs := make([]*baseline.NMCompressed, n)
+		for i, tr := range batch {
+			c, err := nm.Compress(tr, eps)
+			if err != nil {
+				return nil, nil, err
+			}
+			nmcs[i] = c
+		}
+		nmC.X = append(nmC.X, float64(n))
+		nmC.Y = append(nmC.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		for _, tr := range batch {
+			if _, err := mm.Compress(tr, eps); err != nil {
+				return nil, nil, err
+			}
+		}
+		mmtcC.X = append(mmtcC.X, float64(n))
+		mmtcC.Y = append(mmtcC.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		for _, ct := range cts {
+			if _, err := comp.Decompress(ct); err != nil {
+				return nil, nil, err
+			}
+		}
+		pressD.X = append(pressD.X, float64(n))
+		pressD.Y = append(pressD.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		for _, c := range nmcs {
+			_ = c.Decompress()
+		}
+		nmD.X = append(nmD.X, float64(n))
+		nmD.Y = append(nmD.Y, ms(time.Since(start)))
+	}
+	compFig := &Figure{
+		ID: "fig13a", Title: "Compression time vs number of trajectories",
+		XLabel: "trajectories", YLabel: "time (ms)",
+		Series: []Series{pressC, nmC, mmtcC},
+		Notes:  []string{"paper: MMTC ~196x PRESS; PRESS ~72% of Nonmaterial"},
+	}
+	decFig := &Figure{
+		ID: "fig13b", Title: "Decompression time vs number of trajectories",
+		XLabel: "trajectories", YLabel: "time (ms)",
+		Series: []Series{pressD, nmD},
+		Notes:  []string{"paper: MMTC cannot decompress; PRESS ~58.7% of Nonmaterial"},
+	}
+	return compFig, decFig, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// RunFig14 reproduces Fig. 14: overall compression ratio versus the TSED
+// bound for PRESS, Nonmaterial, MMTC, and the generic DEFLATE ("ZIP")
+// coder. PRESS's TSND is set to the TSED bound (TSND ≥ TSED by Theorem 2,
+// so the bound transfers) and NSTD to TSED divided by the fleet's mean
+// speed.
+func RunFig14(env *Env, tseds []float64) (*Figure, error) {
+	if len(tseds) == 0 {
+		tseds = []float64{0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	}
+	press := Series{Name: "PRESS"}
+	nms := Series{Name: "Nonmaterial"}
+	mmtcs := Series{Name: "MMTC"}
+	zips := Series{Name: "ZIP"}
+
+	nm := &baseline.Nonmaterial{G: env.DS.Graph}
+	mm := &baseline.MMTC{G: env.DS.Graph, SP: env.Tab}
+	raw := env.RawBytesTotal()
+
+	// DEFLATE is TSED-independent: one measurement, drawn flat.
+	var zipBytes int
+	for _, r := range env.DS.Raws {
+		n, err := baseline.Deflate(baseline.RawBytes(r))
+		if err != nil {
+			return nil, err
+		}
+		zipBytes += n
+	}
+	zipRatio := ratio(raw, zipBytes)
+
+	for _, eps := range tseds {
+		eta := eps / env.MeanSpeed
+		c, err := env.Compressor(eps, eta)
+		if err != nil {
+			return nil, err
+		}
+		cts, err := c.CompressAll(env.DS.Truth)
+		if err != nil {
+			return nil, err
+		}
+		var pBytes, nBytes, mBytes int
+		for i, tr := range env.DS.Truth {
+			pBytes += cts[i].SizeBytes()
+			nc, err := nm.Compress(tr, eps)
+			if err != nil {
+				return nil, err
+			}
+			nBytes += nc.SizeBytes()
+			mc, err := mm.Compress(tr, eps)
+			if err != nil {
+				return nil, err
+			}
+			mBytes += mc.SizeBytes()
+		}
+		press.X = append(press.X, eps)
+		press.Y = append(press.Y, ratio(raw, pBytes))
+		nms.X = append(nms.X, eps)
+		nms.Y = append(nms.Y, ratio(raw, nBytes))
+		mmtcs.X = append(mmtcs.X, eps)
+		mmtcs.Y = append(mmtcs.Y, ratio(raw, mBytes))
+		zips.X = append(zips.X, eps)
+		zips.Y = append(zips.Y, zipRatio)
+	}
+	return &Figure{
+		ID: "fig14", Title: "Compression ratio vs TSED",
+		XLabel: "TSED (m)", YLabel: "compression ratio",
+		Series: []Series{press, nms, mmtcs, zips},
+		Notes: []string{
+			"paper: PRESS beats MMTC by 64% and Nonmaterial by 43% at TSED=0,",
+			"  widening to 280%/199% at TSED=600m; ZIP=2.09, RAR=3.78 (RAR omitted: closed format)",
+		},
+	}, nil
+}

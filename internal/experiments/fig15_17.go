@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/baseline"
+	"press/internal/core"
+	"press/internal/geo"
+	"press/internal/query"
+	"press/internal/roadnet"
+	"press/internal/traj"
+)
+
+// queryWorkload is a deterministic batch of query inputs derived from the
+// fleet: per trajectory, Q time points, Q on-path locations and Q ranges.
+type queryWorkload struct {
+	times  [][]float64
+	points [][]geo.Point
+	boxes  [][]geo.MBR
+	spans  [][][2]float64
+}
+
+func buildWorkload(env *Env, perTraj int, seed int64) *queryWorkload {
+	rng := QueryRand(seed)
+	w := &queryWorkload{}
+	netMBR := env.DS.Graph.MBR()
+	for _, tr := range env.DS.Truth {
+		var ts []float64
+		var ps []geo.Point
+		var bs []geo.MBR
+		var sp [][2]float64
+		for q := 0; q < perTraj; q++ {
+			t := tr.Temporal[0].T + rng.Float64()*tr.Temporal.Duration()
+			ts = append(ts, t)
+			d := rng.Float64() * tr.Temporal.Distance()
+			ps = append(ps, env.DS.Graph.PointAlongPath(pathEdges(tr), d))
+			cx := netMBR.MinX + rng.Float64()*(netMBR.MaxX-netMBR.MinX)
+			cy := netMBR.MinY + rng.Float64()*(netMBR.MaxY-netMBR.MinY)
+			half := 50 + rng.Float64()*300
+			bs = append(bs, geo.NewMBR(geo.Point{X: cx - half, Y: cy - half}, geo.Point{X: cx + half, Y: cy + half}))
+			t2 := t + rng.Float64()*tr.Temporal.Duration()/3
+			sp = append(sp, [2]float64{t, t2})
+		}
+		w.times = append(w.times, ts)
+		w.points = append(w.points, ps)
+		w.boxes = append(w.boxes, bs)
+		w.spans = append(w.spans, sp)
+	}
+	return w
+}
+
+// compressAllAt compresses the fleet at (tau, eta) plus baselines at eps.
+type compressedFleet struct {
+	press []*core.Compressed
+	nm    []*baseline.NMCompressed
+	mmtc  []*baseline.MMTCCompressed
+}
+
+func compressFleet(env *Env, tau, eta, eps float64) (*compressedFleet, error) {
+	c, err := env.Compressor(tau, eta)
+	if err != nil {
+		return nil, err
+	}
+	cts, err := c.CompressAll(env.DS.Truth)
+	if err != nil {
+		return nil, err
+	}
+	nm := &baseline.Nonmaterial{G: env.DS.Graph}
+	mm := &baseline.MMTC{G: env.DS.Graph, SP: env.Tab}
+	f := &compressedFleet{press: cts}
+	for _, tr := range env.DS.Truth {
+		nc, err := nm.Compress(tr, eps)
+		if err != nil {
+			return nil, err
+		}
+		f.nm = append(f.nm, nc)
+		mc, err := mm.Compress(tr, eps)
+		if err != nil {
+			return nil, err
+		}
+		f.mmtc = append(f.mmtc, mc)
+	}
+	return f, nil
+}
+
+// timeIt runs f repeatedly and returns the best-of-3 wall time.
+func timeIt(f func()) time.Duration {
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// RunFig15 reproduces Fig. 15: whereat query time over compressed data
+// relative to the uncompressed baseline, across distance deviations (the
+// TSND used when compressing).
+func RunFig15(env *Env, eng *query.Engine, devs []float64, perTraj int) (*Figure, error) {
+	if len(devs) == 0 {
+		devs = []float64{0, 50, 100, 150, 200}
+	}
+	if perTraj <= 0 {
+		perTraj = 8
+	}
+	w := buildWorkload(env, perTraj, 71)
+	press := Series{Name: "PRESS"}
+	nms := Series{Name: "Nonmaterial"}
+	mmtcs := Series{Name: "MMTC"}
+	for _, dev := range devs {
+		fleet, err := compressFleet(env, dev, dev/env.MeanSpeed, dev)
+		if err != nil {
+			return nil, err
+		}
+		rawT := timeIt(func() {
+			for i, tr := range env.DS.Truth {
+				for _, t := range w.times[i] {
+					query.WhereAtRaw(env.DS.Graph, tr, t)
+				}
+			}
+		})
+		pressT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, t := range w.times[i] {
+					if _, err := eng.WhereAt(fleet.press[i], t); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		nmT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, t := range w.times[i] {
+					fleet.nm[i].WhereAt(t)
+				}
+			}
+		})
+		mmT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, t := range w.times[i] {
+					fleet.mmtc[i].WhereAt(t)
+				}
+			}
+		})
+		press.X = append(press.X, dev)
+		press.Y = append(press.Y, float64(pressT)/float64(rawT))
+		nms.X = append(nms.X, dev)
+		nms.Y = append(nms.Y, float64(nmT)/float64(rawT))
+		mmtcs.X = append(mmtcs.X, dev)
+		mmtcs.Y = append(mmtcs.Y, float64(mmT)/float64(rawT))
+	}
+	return &Figure{
+		ID: "fig15", Title: "whereat query performance ratio vs deviation",
+		XLabel: "deviation (m)", YLabel: "t(compressed)/t(raw)",
+		Series: []Series{press, nms, mmtcs},
+		Notes:  []string{"paper: PRESS averages 0.26 of raw; saves ~34% vs MMTC, ~28% vs Nonmaterial"},
+	}, nil
+}
+
+// RunFig16 reproduces Fig. 16: whenat query time ratios across time
+// deviations (the NSTD used when compressing).
+func RunFig16(env *Env, eng *query.Engine, devs []float64, perTraj int) (*Figure, error) {
+	if len(devs) == 0 {
+		devs = []float64{0, 10, 20, 30, 40, 50, 60}
+	}
+	if perTraj <= 0 {
+		perTraj = 8
+	}
+	w := buildWorkload(env, perTraj, 73)
+	press := Series{Name: "PRESS"}
+	nms := Series{Name: "Nonmaterial"}
+	mmtcs := Series{Name: "MMTC"}
+	for _, dev := range devs {
+		fleet, err := compressFleet(env, dev*env.MeanSpeed, dev, dev*env.MeanSpeed)
+		if err != nil {
+			return nil, err
+		}
+		rawT := timeIt(func() {
+			for i, tr := range env.DS.Truth {
+				for _, p := range w.points[i] {
+					if _, err := query.WhenAtRaw(env.DS.Graph, tr, p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		pressT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, p := range w.points[i] {
+					if _, err := eng.WhenAt(fleet.press[i], p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		nmT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, p := range w.points[i] {
+					fleet.nm[i].WhenAt(p)
+				}
+			}
+		})
+		mmT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for _, p := range w.points[i] {
+					fleet.mmtc[i].WhenAt(p)
+				}
+			}
+		})
+		press.X = append(press.X, dev)
+		press.Y = append(press.Y, float64(pressT)/float64(rawT))
+		nms.X = append(nms.X, dev)
+		nms.Y = append(nms.Y, float64(nmT)/float64(rawT))
+		mmtcs.X = append(mmtcs.X, dev)
+		mmtcs.Y = append(mmtcs.Y, float64(mmT)/float64(rawT))
+	}
+	return &Figure{
+		ID: "fig16", Title: "whenat query performance ratio vs deviation",
+		XLabel: "deviation (s)", YLabel: "t(compressed)/t(raw)",
+		Series: []Series{press, nms, mmtcs},
+		Notes:  []string{"paper: PRESS incurs ~30% of MMTC's and ~35% of Nonmaterial's time"},
+	}, nil
+}
+
+// RunFig17 reproduces Fig. 17: range query time ratio, with results grouped
+// by answer accuracy (lossy temporal compression can flip boundary cases).
+func RunFig17(env *Env, eng *query.Engine, perTraj int) (*Figure, error) {
+	if perTraj <= 0 {
+		perTraj = 8
+	}
+	w := buildWorkload(env, perTraj, 79)
+	press := Series{Name: "PRESS"}
+	nms := Series{Name: "Nonmaterial"}
+	mmtcs := Series{Name: "MMTC"}
+	acc := Series{Name: "PRESS-accuracy"}
+	devs := []float64{0, 100, 200, 400}
+	for _, dev := range devs {
+		fleet, err := compressFleet(env, dev, dev/env.MeanSpeed, dev)
+		if err != nil {
+			return nil, err
+		}
+		var rawAns, pressAns []bool
+		rawT := timeIt(func() {
+			rawAns = rawAns[:0]
+			for i, tr := range env.DS.Truth {
+				for q := range w.boxes[i] {
+					sp := w.spans[i][q]
+					rawAns = append(rawAns, query.RangeRaw(env.DS.Graph, tr, sp[0], sp[1], w.boxes[i][q]))
+				}
+			}
+		})
+		pressT := timeIt(func() {
+			pressAns = pressAns[:0]
+			for i := range env.DS.Truth {
+				for q := range w.boxes[i] {
+					sp := w.spans[i][q]
+					got, err := eng.Range(fleet.press[i], sp[0], sp[1], w.boxes[i][q])
+					if err != nil {
+						panic(err)
+					}
+					pressAns = append(pressAns, got)
+				}
+			}
+		})
+		nmT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for q := range w.boxes[i] {
+					sp := w.spans[i][q]
+					fleet.nm[i].RangeQ(sp[0], sp[1], w.boxes[i][q])
+				}
+			}
+		})
+		mmT := timeIt(func() {
+			for i := range env.DS.Truth {
+				for q := range w.boxes[i] {
+					sp := w.spans[i][q]
+					fleet.mmtc[i].RangeQ(sp[0], sp[1], w.boxes[i][q])
+				}
+			}
+		})
+		agree := 0
+		for i := range rawAns {
+			if rawAns[i] == pressAns[i] {
+				agree++
+			}
+		}
+		press.X = append(press.X, dev)
+		press.Y = append(press.Y, float64(pressT)/float64(rawT))
+		nms.X = append(nms.X, dev)
+		nms.Y = append(nms.Y, float64(nmT)/float64(rawT))
+		mmtcs.X = append(mmtcs.X, dev)
+		mmtcs.Y = append(mmtcs.Y, float64(mmT)/float64(rawT))
+		acc.X = append(acc.X, dev)
+		acc.Y = append(acc.Y, float64(agree)/float64(len(rawAns)))
+	}
+	return &Figure{
+		ID: "fig17", Title: "range query performance ratio and accuracy",
+		XLabel: "deviation (m)", YLabel: "t(compressed)/t(raw) / accuracy",
+		Series: []Series{press, nms, mmtcs, acc},
+		Notes:  []string{"paper: PRESS saves ~14% vs both baselines; accuracy in [0.92, 1.0]"},
+	}, nil
+}
+
+// RunAuxSizes reports the §6.2/§6.3 auxiliary structure overheads and the
+// overall storage picture.
+func RunAuxSizes(env *Env, eng *query.Engine) (*Figure, error) {
+	c, err := env.Compressor(100, 60)
+	if err != nil {
+		return nil, err
+	}
+	cts, err := c.CompressAll(env.DS.Truth)
+	if err != nil {
+		return nil, err
+	}
+	var compBytes int
+	for _, ct := range cts {
+		compBytes += ct.SizeBytes()
+	}
+	env.Tab.PrecomputeAll()
+	fig := &Figure{
+		ID: "aux", Title: "Auxiliary structure and dataset sizes (bytes)",
+		XLabel: "row", YLabel: "bytes",
+		Series: []Series{{
+			Name: "bytes",
+			X:    []float64{1, 2, 3, 4, 5},
+			Y: []float64{
+				float64(env.RawBytesTotal()),
+				float64(compBytes),
+				float64(env.Tab.MemoryBytes()),
+				float64(env.CB.Trie.MemoryBytes()),
+				float64(eng.MemoryBytes()),
+			},
+		}},
+		Notes: []string{
+			"rows: 1=raw fleet, 2=PRESS-compressed fleet (tau=100m eta=60s),",
+			"  3=all-pair SP table, 4=FST trie+automaton, 5=query aux (node dist/MBRs)",
+			fmt.Sprintf("paper (Singapore, 13.2GB raw): SP table 452MB, AC automaton 101MB, Huffman 121MB"),
+		},
+	}
+	return fig, nil
+}
+
+func pathEdges(tr *traj.Trajectory) []roadnet.EdgeID { return []roadnet.EdgeID(tr.Path) }

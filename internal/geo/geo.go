@@ -1,0 +1,333 @@
+// Package geo provides the planar geometry substrate used by the road
+// network, the map matcher and the query processor: points, segments,
+// polylines, minimum bounding rectangles, projections and point-at-distance
+// interpolation.
+//
+// All coordinates are planar (meters). The synthetic city generator emits
+// planar coordinates directly, so no geodetic projection is needed; a real
+// deployment would project lon/lat onto a local tangent plane first.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Lerp linearly interpolates between p (f=0) and q (f=1).
+func Lerp(p, q Point, f float64) Point {
+	return Point{p.X + (q.X-p.X)*f, p.Y + (q.Y-p.Y)*f}
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Segment is a directed straight line segment.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the segment's length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Project returns the point on s closest to p, the fraction f in [0,1] along
+// s at which it lies, and the distance from p to that point.
+func (s Segment) Project(p Point) (closest Point, f, dist float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return s.A, 0, p.Dist(s.A)
+	}
+	f = p.Sub(s.A).Dot(d) / l2
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	closest = Lerp(s.A, s.B, f)
+	return closest, f, p.Dist(closest)
+}
+
+// At returns the point at fraction f in [0,1] along s.
+func (s Segment) At(f float64) Point { return Lerp(s.A, s.B, f) }
+
+// MBR returns the segment's minimum bounding rectangle.
+func (s Segment) MBR() MBR {
+	m := EmptyMBR()
+	m.ExtendPoint(s.A)
+	m.ExtendPoint(s.B)
+	return m
+}
+
+// MBR is an axis-aligned minimum bounding rectangle.
+type MBR struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyMBR returns the identity element for ExtendMBR: a rectangle that
+// contains nothing and extends to whatever it is merged with.
+func EmptyMBR() MBR {
+	return MBR{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// NewMBR returns the rectangle spanning the two corner points in any order.
+func NewMBR(a, b Point) MBR {
+	m := EmptyMBR()
+	m.ExtendPoint(a)
+	m.ExtendPoint(b)
+	return m
+}
+
+// IsEmpty reports whether m contains no points.
+func (m MBR) IsEmpty() bool { return m.MinX > m.MaxX || m.MinY > m.MaxY }
+
+// ExtendPoint grows m to contain p.
+func (m *MBR) ExtendPoint(p Point) {
+	m.MinX = math.Min(m.MinX, p.X)
+	m.MinY = math.Min(m.MinY, p.Y)
+	m.MaxX = math.Max(m.MaxX, p.X)
+	m.MaxY = math.Max(m.MaxY, p.Y)
+}
+
+// ExtendMBR grows m to contain o.
+func (m *MBR) ExtendMBR(o MBR) {
+	if o.IsEmpty() {
+		return
+	}
+	m.ExtendPoint(Point{o.MinX, o.MinY})
+	m.ExtendPoint(Point{o.MaxX, o.MaxY})
+}
+
+// Contains reports whether p lies inside m (boundary inclusive).
+func (m MBR) Contains(p Point) bool {
+	return p.X >= m.MinX && p.X <= m.MaxX && p.Y >= m.MinY && p.Y <= m.MaxY
+}
+
+// Intersects reports whether m and o overlap (boundary touching counts).
+func (m MBR) Intersects(o MBR) bool {
+	if m.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return m.MinX <= o.MaxX && o.MinX <= m.MaxX && m.MinY <= o.MaxY && o.MinY <= m.MaxY
+}
+
+// Expand returns m grown by r on every side.
+func (m MBR) Expand(r float64) MBR {
+	if m.IsEmpty() {
+		return m
+	}
+	return MBR{m.MinX - r, m.MinY - r, m.MaxX + r, m.MaxY + r}
+}
+
+// Center returns the rectangle's center point.
+func (m MBR) Center() Point { return Point{(m.MinX + m.MaxX) / 2, (m.MinY + m.MaxY) / 2} }
+
+// DistToPoint returns the minimum distance from any point of m to p
+// (zero if p is inside m).
+func (m MBR) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(m.MinX-p.X, p.X-m.MaxX))
+	dy := math.Max(0, math.Max(m.MinY-p.Y, p.Y-m.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// DistToMBR returns the minimum distance between any points of m and o
+// (zero if they intersect).
+func (m MBR) DistToMBR(o MBR) float64 {
+	dx := math.Max(0, math.Max(m.MinX-o.MaxX, o.MinX-m.MaxX))
+	dy := math.Max(0, math.Max(m.MinY-o.MaxY, o.MinY-m.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// Polyline is an ordered sequence of at least two points.
+type Polyline []Point
+
+// Length returns the total length of the polyline.
+func (pl Polyline) Length() float64 {
+	var sum float64
+	for i := 1; i < len(pl); i++ {
+		sum += pl[i-1].Dist(pl[i])
+	}
+	return sum
+}
+
+// MBR returns the polyline's bounding rectangle.
+func (pl Polyline) MBR() MBR {
+	m := EmptyMBR()
+	for _, p := range pl {
+		m.ExtendPoint(p)
+	}
+	return m
+}
+
+// At returns the point at network distance d from the polyline's start,
+// clamping d to [0, Length].
+func (pl Polyline) At(d float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if d <= 0 {
+		return pl[0]
+	}
+	for i := 1; i < len(pl); i++ {
+		seg := pl[i-1].Dist(pl[i])
+		if d <= seg && seg > 0 {
+			return Lerp(pl[i-1], pl[i], d/seg)
+		}
+		d -= seg
+	}
+	return pl[len(pl)-1]
+}
+
+// Project returns the closest point on pl to p, the network distance from
+// pl's start to that point, and the distance from p to it.
+func (pl Polyline) Project(p Point) (closest Point, along, dist float64) {
+	if len(pl) == 0 {
+		return Point{}, 0, math.Inf(1)
+	}
+	if len(pl) == 1 {
+		return pl[0], 0, p.Dist(pl[0])
+	}
+	best := math.Inf(1)
+	var bestPt Point
+	var bestAlong float64
+	var prefix float64
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{pl[i-1], pl[i]}
+		c, f, d := seg.Project(p)
+		if d < best {
+			best = d
+			bestPt = c
+			bestAlong = prefix + f*seg.Length()
+		}
+		prefix += seg.Length()
+	}
+	return bestPt, bestAlong, best
+}
+
+// DistToPoint returns the minimum distance from the polyline to p.
+func (pl Polyline) DistToPoint(p Point) float64 {
+	_, _, d := pl.Project(p)
+	return d
+}
+
+// IntersectsMBR reports whether any segment of pl passes through m.
+func (pl Polyline) IntersectsMBR(m MBR) bool {
+	for _, p := range pl {
+		if m.Contains(p) {
+			return true
+		}
+	}
+	for i := 1; i < len(pl); i++ {
+		if segmentIntersectsMBR(Segment{pl[i-1], pl[i]}, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentIntersectsMBR uses the Liang–Barsky clip test.
+func segmentIntersectsMBR(s Segment, m MBR) bool {
+	if m.IsEmpty() {
+		return false
+	}
+	t0, t1 := 0.0, 1.0
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		r := q / p
+		if p < 0 {
+			if r > t1 {
+				return false
+			}
+			if r > t0 {
+				t0 = r
+			}
+		} else {
+			if r < t0 {
+				return false
+			}
+			if r < t1 {
+				t1 = r
+			}
+		}
+		return true
+	}
+	return clip(-dx, s.A.X-m.MinX) &&
+		clip(dx, m.MaxX-s.A.X) &&
+		clip(-dy, s.A.Y-m.MinY) &&
+		clip(dy, m.MaxY-s.A.Y)
+}
+
+// DistToSegment returns the minimum distance between two segments
+// (zero if they intersect).
+func (s Segment) DistToSegment(o Segment) float64 {
+	if segmentsIntersect(s, o) {
+		return 0
+	}
+	d := math.Inf(1)
+	for _, v := range []float64{
+		s.distToPoint(o.A), s.distToPoint(o.B),
+		o.distToPoint(s.A), o.distToPoint(s.B),
+	} {
+		if v < d {
+			d = v
+		}
+	}
+	return d
+}
+
+func (s Segment) distToPoint(p Point) float64 {
+	_, _, d := s.Project(p)
+	return d
+}
+
+// segmentsIntersect reports proper or touching intersection.
+func segmentsIntersect(a, b Segment) bool {
+	d1 := cross(b.A, b.B, a.A)
+	d2 := cross(b.A, b.B, a.B)
+	d3 := cross(a.A, a.B, b.A)
+	d4 := cross(a.A, a.B, b.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(b, a.A)) || (d2 == 0 && onSegment(b, a.B)) ||
+		(d3 == 0 && onSegment(a, b.A)) || (d4 == 0 && onSegment(a, b.B))
+}
+
+func cross(o, a, b Point) float64 {
+	return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+}
+
+func onSegment(s Segment, p Point) bool {
+	return math.Min(s.A.X, s.B.X) <= p.X && p.X <= math.Max(s.A.X, s.B.X) &&
+		math.Min(s.A.Y, s.B.Y) <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)
+}

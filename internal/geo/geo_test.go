@@ -1,0 +1,277 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{0, 0}, Point{0, 7}, 7},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.q.Dist(tc.p); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Dist not symmetric for %v,%v", tc.p, tc.q)
+		}
+	}
+}
+
+func TestPointVectorOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 20}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestSegmentProject(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	tests := []struct {
+		p        Point
+		wantPt   Point
+		wantF    float64
+		wantDist float64
+	}{
+		{Point{5, 3}, Point{5, 0}, 0.5, 3},
+		{Point{-2, 0}, Point{0, 0}, 0, 2},   // clamped before start
+		{Point{14, 3}, Point{10, 0}, 1, 5},  // clamped after end
+		{Point{0, 0}, Point{0, 0}, 0, 0},    // on endpoint
+		{Point{10, 0}, Point{10, 0}, 1, 0},  // on endpoint
+		{Point{7, -2}, Point{7, 0}, 0.7, 2}, // below
+	}
+	for _, tc := range tests {
+		pt, f, d := s.Project(tc.p)
+		if pt != tc.wantPt || !almostEq(f, tc.wantF, 1e-12) || !almostEq(d, tc.wantDist, 1e-12) {
+			t.Errorf("Project(%v) = %v,%v,%v want %v,%v,%v", tc.p, pt, f, d, tc.wantPt, tc.wantF, tc.wantDist)
+		}
+	}
+}
+
+func TestSegmentProjectDegenerate(t *testing.T) {
+	s := Segment{Point{2, 2}, Point{2, 2}}
+	pt, f, d := s.Project(Point{5, 6})
+	if pt != (Point{2, 2}) || f != 0 || !almostEq(d, 5, 1e-12) {
+		t.Errorf("degenerate Project = %v,%v,%v", pt, f, d)
+	}
+}
+
+func TestMBRBasics(t *testing.T) {
+	m := EmptyMBR()
+	if !m.IsEmpty() {
+		t.Fatal("EmptyMBR not empty")
+	}
+	m.ExtendPoint(Point{1, 2})
+	m.ExtendPoint(Point{-3, 5})
+	if m.IsEmpty() {
+		t.Fatal("extended MBR empty")
+	}
+	if m.MinX != -3 || m.MaxX != 1 || m.MinY != 2 || m.MaxY != 5 {
+		t.Errorf("bounds = %+v", m)
+	}
+	if !m.Contains(Point{0, 3}) || m.Contains(Point{2, 3}) {
+		t.Error("Contains wrong")
+	}
+	if c := m.Center(); c != (Point{-1, 3.5}) {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestMBRIntersects(t *testing.T) {
+	a := NewMBR(Point{0, 0}, Point{10, 10})
+	tests := []struct {
+		b    MBR
+		want bool
+	}{
+		{NewMBR(Point{5, 5}, Point{15, 15}), true},
+		{NewMBR(Point{10, 10}, Point{20, 20}), true}, // touching corner
+		{NewMBR(Point{11, 11}, Point{20, 20}), false},
+		{NewMBR(Point{-5, -5}, Point{-1, -1}), false},
+		{NewMBR(Point{2, 2}, Point{3, 3}), true}, // contained
+		{EmptyMBR(), false},
+	}
+	for i, tc := range tests {
+		if got := a.Intersects(tc.b); got != tc.want {
+			t.Errorf("case %d: Intersects = %v want %v", i, got, tc.want)
+		}
+		if got := tc.b.Intersects(a); got != tc.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+}
+
+func TestMBRDist(t *testing.T) {
+	m := NewMBR(Point{0, 0}, Point{10, 10})
+	if d := m.DistToPoint(Point{5, 5}); d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := m.DistToPoint(Point{13, 14}); !almostEq(d, 5, 1e-12) {
+		t.Errorf("corner dist = %v", d)
+	}
+	if d := m.DistToPoint(Point{5, 12}); !almostEq(d, 2, 1e-12) {
+		t.Errorf("edge dist = %v", d)
+	}
+	o := NewMBR(Point{13, 14}, Point{20, 20})
+	if d := m.DistToMBR(o); !almostEq(d, 5, 1e-12) {
+		t.Errorf("mbr-mbr dist = %v", d)
+	}
+	if d := m.DistToMBR(NewMBR(Point{5, 5}, Point{6, 6})); d != 0 {
+		t.Errorf("overlapping dist = %v", d)
+	}
+}
+
+func TestMBRExpand(t *testing.T) {
+	m := NewMBR(Point{0, 0}, Point{2, 2}).Expand(3)
+	if m.MinX != -3 || m.MaxY != 5 {
+		t.Errorf("Expand = %+v", m)
+	}
+	if !EmptyMBR().Expand(5).IsEmpty() {
+		t.Error("expanding empty MBR should stay empty")
+	}
+}
+
+func TestPolylineLengthAt(t *testing.T) {
+	pl := Polyline{{0, 0}, {10, 0}, {10, 10}}
+	if l := pl.Length(); !almostEq(l, 20, 1e-12) {
+		t.Fatalf("Length = %v", l)
+	}
+	tests := []struct {
+		d    float64
+		want Point
+	}{
+		{-5, Point{0, 0}},
+		{0, Point{0, 0}},
+		{5, Point{5, 0}},
+		{10, Point{10, 0}},
+		{15, Point{10, 5}},
+		{20, Point{10, 10}},
+		{25, Point{10, 10}}, // clamped
+	}
+	for _, tc := range tests {
+		if got := pl.At(tc.d); got.Dist(tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v want %v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	pl := Polyline{{0, 0}, {10, 0}, {10, 10}}
+	pt, along, d := pl.Project(Point{12, 5})
+	if pt.Dist(Point{10, 5}) > 1e-9 || !almostEq(along, 15, 1e-9) || !almostEq(d, 2, 1e-9) {
+		t.Errorf("Project = %v,%v,%v", pt, along, d)
+	}
+	pt, along, d = pl.Project(Point{3, -4})
+	if pt.Dist(Point{3, 0}) > 1e-9 || !almostEq(along, 3, 1e-9) || !almostEq(d, 4, 1e-9) {
+		t.Errorf("Project = %v,%v,%v", pt, along, d)
+	}
+}
+
+// Projecting a point that lies on the polyline must return (point, 0 dist),
+// and At(along) must invert Project.
+func TestPolylineProjectAtInverse(t *testing.T) {
+	pl := Polyline{{0, 0}, {100, 0}, {100, 50}, {30, 50}}
+	err := quick.Check(func(seed uint32) bool {
+		d := float64(seed%22000) / 100.0 // within length 220
+		p := pl.At(d)
+		pt, along, dist := pl.Project(p)
+		return dist < 1e-9 && pt.Dist(pl.At(along)) < 1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineIntersectsMBR(t *testing.T) {
+	pl := Polyline{{0, 0}, {10, 0}}
+	tests := []struct {
+		m    MBR
+		want bool
+	}{
+		{NewMBR(Point{4, -1}, Point{6, 1}), true},    // crosses
+		{NewMBR(Point{4, 1}, Point{6, 2}), false},    // above
+		{NewMBR(Point{-5, -5}, Point{20, 20}), true}, // contains
+		{NewMBR(Point{5, 0}, Point{5, 0}), true},     // degenerate on line
+		{EmptyMBR(), false},
+	}
+	for i, tc := range tests {
+		if got := pl.IntersectsMBR(tc.m); got != tc.want {
+			t.Errorf("case %d: IntersectsMBR = %v want %v", i, got, tc.want)
+		}
+	}
+	// Segment crossing a box without either endpoint inside.
+	diag := Polyline{{-5, -5}, {15, 15}}
+	if !diag.IntersectsMBR(NewMBR(Point{0, 0}, Point{10, 10})) {
+		t.Error("diagonal crossing not detected")
+	}
+}
+
+func TestPolylineEdgeCases(t *testing.T) {
+	if d := (Polyline{}).At(5); d != (Point{}) {
+		t.Error("empty polyline At")
+	}
+	_, _, dist := (Polyline{}).Project(Point{1, 1})
+	if !math.IsInf(dist, 1) {
+		t.Error("empty polyline Project dist should be +Inf")
+	}
+	one := Polyline{{2, 2}}
+	pt, along, d := one.Project(Point{2, 5})
+	if pt != (Point{2, 2}) || along != 0 || !almostEq(d, 3, 1e-12) {
+		t.Errorf("single-point Project = %v,%v,%v", pt, along, d)
+	}
+}
+
+func TestSegmentDistToSegment(t *testing.T) {
+	tests := []struct {
+		a, b Segment
+		want float64
+	}{
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{5, -5}, Point{5, 5}}, 0},  // crossing
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{0, 3}, Point{10, 3}}, 3},  // parallel
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{13, 4}, Point{20, 4}}, 5}, // endpoint to endpoint
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{10, 0}, Point{20, 5}}, 0}, // touching
+		{Segment{Point{0, 0}, Point{4, 4}}, Segment{Point{0, 4}, Point{4, 0}}, 0},    // X crossing
+	}
+	for i, tc := range tests {
+		if got := tc.a.DistToSegment(tc.b); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("case %d: dist = %v want %v", i, got, tc.want)
+		}
+		if got := tc.b.DistToSegment(tc.a); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("case %d: not symmetric", i)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package huffman implements the Huffman coder of §3.2.3: it assigns each
+// FST trie node a prefix-free binary code whose length is inversely related
+// to the node's frequency, so popular sub-trajectories cost few bits.
+//
+// Symbols are dense integers (trie node ids). Heap ties are broken by
+// creation sequence (minimum-variance construction), making code assignment
+// fully deterministic and trees shallow. Zero-frequency symbols still
+// receive codes (the paper keeps every first-level edge in the trie,
+// frequency 0 included, so every possible decomposition is encodable).
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"press/internal/bitstream"
+)
+
+// Code is one symbol's binary code: the Len low bits of Bits, emitted most
+// significant first.
+type Code struct {
+	Bits uint64
+	Len  int
+}
+
+// String renders the code as a '0'/'1' string, as in the paper's Table 1.
+func (c Code) String() string {
+	if c.Len == 0 {
+		return ""
+	}
+	b := make([]byte, c.Len)
+	for i := 0; i < c.Len; i++ {
+		if c.Bits>>(uint(c.Len-1-i))&1 == 1 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Tree is an immutable Huffman code: per-symbol codes plus the decode trie.
+type Tree struct {
+	codes []Code
+	// Decode structure: a flattened binary tree. Nodes are indices into
+	// left/right; negative entries encode ^symbol leaves.
+	left, right []int32
+	root        int32
+	numSymbols  int
+
+	// fastTable accelerates decoding: indexed by the next fastBits bits of
+	// the stream, it yields the decoded symbol and its code length when the
+	// code fits in fastBits, or the internal node reached after consuming
+	// fastBits bits otherwise (falling back to the bitwise walk from there).
+	fastTable []fastEntry
+}
+
+// fastBits is the lookup width of the table-driven decoder. Frequent FST
+// codes are short, so 8 bits covers the common case in one step.
+const fastBits = 8
+
+type fastEntry struct {
+	symbol int32 // ^node when the entry is a fallback to an internal node
+	length int8  // bits consumed; 0 marks a fallback entry
+}
+
+// hnode is a heap entry. Ties on weight are broken by creation sequence
+// (all leaves precede all internal nodes), the classic minimum-variance
+// Huffman construction: it keeps the tree as shallow as possible, which
+// matters here because FST tries contain many zero-frequency nodes that
+// would otherwise merge into an arbitrarily deep chain.
+type hnode struct {
+	weight uint64
+	seq    int32 // creation order: leaves 0..n-1, internals n, n+1, ...
+	index  int32 // node index; leaves are ^symbol
+}
+
+type hheap []hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].seq < h[j].seq
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// New builds a Huffman tree for symbols 0..len(freq)-1 with the given
+// frequencies. At least one symbol is required. A single-symbol alphabet is
+// assigned the 1-bit code "0".
+func New(freq []uint64) (*Tree, error) {
+	n := len(freq)
+	if n == 0 {
+		return nil, errors.New("huffman: empty alphabet")
+	}
+	t := &Tree{codes: make([]Code, n), numSymbols: n}
+	if n == 1 {
+		t.codes[0] = Code{Bits: 0, Len: 1}
+		t.left = []int32{^int32(0)}
+		t.right = []int32{-1 - 1<<30} // unreachable right branch sentinel
+		t.root = 0
+		return t, nil
+	}
+	h := make(hheap, 0, n)
+	for s := 0; s < n; s++ {
+		h = append(h, hnode{weight: freq[s], seq: int32(s), index: ^int32(s)})
+	}
+	heap.Init(&h)
+	seq := int32(n)
+	// Internal nodes.
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(hnode)
+		b := heap.Pop(&h).(hnode)
+		idx := int32(len(t.left))
+		t.left = append(t.left, a.index)
+		t.right = append(t.right, b.index)
+		heap.Push(&h, hnode{weight: a.weight + b.weight, seq: seq, index: idx})
+		seq++
+	}
+	t.root = heap.Pop(&h).(hnode).index
+	if err := t.assign(t.root, 0, 0); err != nil {
+		return nil, err
+	}
+	t.buildFastTable()
+	return t, nil
+}
+
+// buildFastTable fills the fastBits-wide decode table.
+func (t *Tree) buildFastTable() {
+	t.fastTable = make([]fastEntry, 1<<fastBits)
+	for prefix := 0; prefix < 1<<fastBits; prefix++ {
+		node := t.root
+		consumed := 0
+		for node >= 0 && consumed < fastBits {
+			bit := prefix >> (fastBits - 1 - consumed) & 1
+			if bit == 0 {
+				node = t.left[node]
+			} else {
+				node = t.right[node]
+			}
+			consumed++
+		}
+		if node < 0 {
+			t.fastTable[prefix] = fastEntry{symbol: int32(^node), length: int8(consumed)}
+		} else {
+			t.fastTable[prefix] = fastEntry{symbol: ^node, length: 0}
+		}
+	}
+}
+
+func (t *Tree) assign(node int32, bits uint64, depth int) error {
+	if node < 0 {
+		sym := ^node
+		t.codes[sym] = Code{Bits: bits, Len: depth}
+		return nil
+	}
+	if depth >= 64 {
+		// Code.Bits is a uint64; minimum-variance construction keeps depths
+		// logarithmic, so this fires only on pathological inputs.
+		return errors.New("huffman: code length exceeds 64 bits")
+	}
+	if err := t.assign(t.left[node], bits<<1, depth+1); err != nil {
+		return err
+	}
+	return t.assign(t.right[node], bits<<1|1, depth+1)
+}
+
+// NumSymbols returns the alphabet size.
+func (t *Tree) NumSymbols() int { return t.numSymbols }
+
+// CodeOf returns the code assigned to symbol s.
+func (t *Tree) CodeOf(s int) Code { return t.codes[s] }
+
+// CodeLen returns the bit length of symbol s's code.
+func (t *Tree) CodeLen(s int) int { return t.codes[s].Len }
+
+// Encode appends the code of symbol s to the writer.
+func (t *Tree) Encode(w *bitstream.Writer, s int) error {
+	if s < 0 || s >= t.numSymbols {
+		return fmt.Errorf("huffman: symbol %d out of range", s)
+	}
+	c := t.codes[s]
+	w.WriteBits(c.Bits, c.Len)
+	return nil
+}
+
+// EncodeAll encodes a symbol sequence into a fresh writer.
+func (t *Tree) EncodeAll(symbols []int) (*bitstream.Writer, error) {
+	w := bitstream.NewWriter()
+	for _, s := range symbols {
+		if err := t.Encode(w, s); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Decode reads one symbol from the reader, using the fast table when a full
+// lookup window is available and falling back to the bitwise tree walk near
+// the end of the stream or for codes longer than the window.
+func (t *Tree) Decode(r *bitstream.Reader) (int, error) {
+	if t.numSymbols == 1 {
+		if _, err := r.ReadBit(); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	node := t.root
+	if r.Remaining() >= fastBits {
+		prefix, err := r.PeekBits(fastBits)
+		if err != nil {
+			return 0, err
+		}
+		e := t.fastTable[prefix]
+		if e.length > 0 {
+			if err := r.Skip(int(e.length)); err != nil {
+				return 0, err
+			}
+			return int(e.symbol), nil
+		}
+		// Long code: resume the walk below the table window.
+		if err := r.Skip(fastBits); err != nil {
+			return 0, err
+		}
+		node = ^e.symbol
+	}
+	for node >= 0 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			node = t.left[node]
+		} else {
+			node = t.right[node]
+		}
+	}
+	return int(^node), nil
+}
+
+// DecodeAll decodes symbols until the reader is exhausted.
+func (t *Tree) DecodeAll(r *bitstream.Reader) ([]int, error) {
+	var out []int
+	for r.Remaining() > 0 {
+		s, err := t.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TotalBits returns the encoded size of a corpus with the given symbol
+// frequencies under this code — the quantity Huffman minimizes.
+func (t *Tree) TotalBits(freq []uint64) uint64 {
+	var sum uint64
+	for s, f := range freq {
+		if s < t.numSymbols {
+			sum += f * uint64(t.codes[s].Len)
+		}
+	}
+	return sum
+}

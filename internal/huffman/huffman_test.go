@@ -1,0 +1,266 @@
+package huffman
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"press/internal/bitstream"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	tr, err := New([]uint64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CodeOf(0).String(); got != "0" {
+		t.Errorf("single-symbol code = %q", got)
+	}
+	w, err := tr.EncodeAll([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := tr.DecodeAll(bitstream.NewReader(w.Bytes(), w.Len()))
+	if err != nil || len(syms) != 3 {
+		t.Fatalf("DecodeAll = %v (%v)", syms, err)
+	}
+}
+
+func TestCodesArePrefixFree(t *testing.T) {
+	tr, err := New([]uint64{5, 9, 12, 13, 16, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes []string
+	for s := 0; s < tr.NumSymbols(); s++ {
+		codes = append(codes, tr.CodeOf(s).String())
+	}
+	for i := range codes {
+		for j := range codes {
+			if i != j && len(codes[i]) <= len(codes[j]) && codes[j][:len(codes[i])] == codes[i] {
+				t.Errorf("code %q is a prefix of %q", codes[i], codes[j])
+			}
+		}
+	}
+}
+
+func TestClassicExampleLengths(t *testing.T) {
+	// The canonical textbook frequencies: optimal code lengths are known.
+	freq := []uint64{5, 9, 12, 13, 16, 45}
+	tr, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLens := map[int]int{0: 4, 1: 4, 2: 3, 3: 3, 4: 3, 5: 1}
+	for s, want := range wantLens {
+		if got := tr.CodeLen(s); got != want {
+			t.Errorf("CodeLen(%d) = %d want %d", s, got, want)
+		}
+	}
+	// Weighted total must be the known optimum 224.
+	if got := tr.TotalBits(freq); got != 224 {
+		t.Errorf("TotalBits = %d want 224", got)
+	}
+}
+
+func TestMoreFrequentNeverLonger(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(30) + 2
+		freq := make([]uint64, n)
+		for i := range freq {
+			freq[i] = uint64(rng.Intn(1000))
+		}
+		tr, err := New(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type sf struct {
+			f uint64
+			l int
+		}
+		var all []sf
+		for s := 0; s < n; s++ {
+			all = append(all, sf{freq[s], tr.CodeLen(s)})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].f < all[j].f })
+		for i := 1; i < len(all); i++ {
+			if all[i].f > all[i-1].f && all[i].l > all[i-1].l {
+				t.Errorf("higher-frequency symbol got longer code: %+v then %+v", all[i-1], all[i])
+			}
+		}
+	}
+}
+
+func TestKraftEquality(t *testing.T) {
+	// A full binary Huffman tree satisfies sum 2^-len == 1 exactly.
+	tr, err := New([]uint64{1, 1, 2, 3, 5, 8, 13, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for s := 0; s < tr.NumSymbols(); s++ {
+		sum += 1 / float64(uint64(1)<<uint(tr.CodeLen(s)))
+	}
+	if sum != 1 {
+		t.Errorf("Kraft sum = %v want 1", sum)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		freq := make([]uint64, n)
+		for i := range freq {
+			freq[i] = uint64(rng.Intn(100))
+		}
+		tr, err := New(freq)
+		if err != nil {
+			return false
+		}
+		msg := make([]int, rng.Intn(200))
+		for i := range msg {
+			msg[i] = rng.Intn(n)
+		}
+		w, err := tr.EncodeAll(msg)
+		if err != nil {
+			return false
+		}
+		got, err := tr.DecodeAll(bitstream.NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(msg) {
+			return false
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeOutOfRange(t *testing.T) {
+	tr, err := New([]uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitstream.NewWriter()
+	if err := tr.Encode(w, 5); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if err := tr.Encode(w, -1); err == nil {
+		t.Error("negative symbol accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	freq := []uint64{3, 3, 3, 3, 7, 7}
+	a, _ := New(freq)
+	b, _ := New(freq)
+	for s := range freq {
+		if a.CodeOf(s) != b.CodeOf(s) {
+			t.Fatalf("non-deterministic code for symbol %d", s)
+		}
+	}
+}
+
+// A large all-zero-frequency alphabet must yield a balanced (logarithmic)
+// tree, not a linear chain — the regression that once produced codes deeper
+// than 64 bits on FST tries with many never-seen nodes.
+func TestZeroFrequencyAlphabetShallow(t *testing.T) {
+	n := 5000
+	freq := make([]uint64, n)
+	tr, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for s := 0; s < n; s++ {
+		if l := tr.CodeLen(s); l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen > 20 { // ceil(log2 5000) = 13; allow slack
+		t.Errorf("max code length %d for all-zero alphabet; want logarithmic", maxLen)
+	}
+	// Round-trip still holds.
+	w, err := tr.EncodeAll([]int{0, 4999, 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.DecodeAll(bitstream.NewReader(w.Bytes(), w.Len()))
+	if err != nil || len(got) != 3 || got[1] != 4999 {
+		t.Fatalf("roundtrip = %v (%v)", got, err)
+	}
+}
+
+// Mixed skewed weights with a big zero tail — the exact shape FST training
+// produces — must stay within the 64-bit code limit.
+func TestSkewedPlusZeroTail(t *testing.T) {
+	freq := make([]uint64, 8000)
+	for i := 0; i < 50; i++ {
+		freq[i] = uint64(1 << uint(i%20))
+	}
+	tr, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range freq {
+		if tr.CodeLen(s) > 64 {
+			t.Fatalf("symbol %d code length %d > 64", s, tr.CodeLen(s))
+		}
+	}
+}
+
+// The table-driven fast decoder must agree with a pure bitwise reference on
+// skewed alphabets with codes both shorter and longer than the table width.
+func TestFastDecodeMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(600) + 2
+		freq := make([]uint64, n)
+		for i := range freq {
+			if rng.Intn(4) == 0 {
+				freq[i] = uint64(rng.Intn(10000))
+			}
+		}
+		tr, err := New(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]int, 200)
+		for i := range msg {
+			msg[i] = rng.Intn(n)
+		}
+		w, err := tr.EncodeAll(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.DecodeAll(bitstream.NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(msg) {
+			t.Fatalf("decoded %d of %d", len(got), len(msg))
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("trial %d: symbol %d decoded as %d want %d", trial, i, got[i], msg[i])
+			}
+		}
+	}
+}

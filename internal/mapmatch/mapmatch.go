@@ -1,0 +1,335 @@
+// Package mapmatch implements the map-matcher component of the PRESS
+// pipeline (Fig. 1). The paper uses the authors' multi-core matcher [21];
+// we implement the standard published alternative it builds on — HMM map
+// matching in the style of Newson & Krumm [19]:
+//
+//   - candidate states per GPS sample are the road edges within a radius,
+//     found through a uniform spatial grid over edge bounding boxes;
+//   - emission likelihood is Gaussian in the projection distance;
+//   - transition likelihood decays exponentially in the difference between
+//     the network route length and the straight-line distance between
+//     consecutive samples (penalizing routes that detour implausibly);
+//   - Viterbi dynamic programming selects the jointly most likely edge
+//     sequence, and gaps between consecutive matched edges are filled with
+//     canonical shortest paths.
+package mapmatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+// Options tunes the matcher.
+type Options struct {
+	CandidateRadius float64 // meters; edges farther than this are not candidates
+	MaxCandidates   int     // cap per sample (closest kept)
+	Sigma           float64 // GPS noise standard deviation, meters
+	Beta            float64 // transition scale, meters
+}
+
+// DefaultOptions matches the generator's default noise profile.
+func DefaultOptions() Options {
+	return Options{CandidateRadius: 60, MaxCandidates: 8, Sigma: 10, Beta: 30}
+}
+
+// Matcher matches raw GPS trajectories onto a road network.
+type Matcher struct {
+	g    *roadnet.Graph
+	sp   *spindex.Table
+	opt  Options
+	grid *edgeGrid
+}
+
+// New builds a matcher over the network using the given shortest-path table
+// for route distances.
+func New(g *roadnet.Graph, sp *spindex.Table, opt Options) (*Matcher, error) {
+	if opt.CandidateRadius <= 0 || opt.Sigma <= 0 || opt.Beta <= 0 {
+		return nil, errors.New("mapmatch: radius, sigma and beta must be positive")
+	}
+	if opt.MaxCandidates <= 0 {
+		opt.MaxCandidates = 8
+	}
+	return &Matcher{g: g, sp: sp, opt: opt, grid: newEdgeGrid(g, opt.CandidateRadius)}, nil
+}
+
+// candidate is one HMM state: an edge plus the projection of the sample.
+type candidate struct {
+	edge  roadnet.EdgeID
+	along float64 // meters from the edge start to the projection
+	dist  float64 // meters from the sample to the projection
+}
+
+// candidates returns the states for one sample, closest first, capped.
+func (m *Matcher) candidates(p geo.Point) []candidate {
+	ids := m.grid.near(p)
+	cands := make([]candidate, 0, len(ids))
+	for _, id := range ids {
+		e := m.g.Edge(id)
+		_, along, dist := e.Geometry.Project(p)
+		if dist <= m.opt.CandidateRadius {
+			cands = append(cands, candidate{edge: id, along: along, dist: dist})
+		}
+	}
+	// Selection sort of the top-K by distance (K small).
+	k := m.opt.MaxCandidates
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].dist < cands[best].dist ||
+				(cands[j].dist == cands[best].dist && cands[j].edge < cands[best].edge) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	return cands[:k]
+}
+
+// routeDist returns the network distance from a position on edge a to a
+// position on edge b (+Inf when b is not reachable after a).
+func (m *Matcher) routeDist(a candidate, b candidate) float64 {
+	if a.edge == b.edge {
+		if b.along >= a.along {
+			return b.along - a.along
+		}
+		// Driving backward on one edge is impossible; route around.
+		loop := m.loopDist(a.edge)
+		if math.IsInf(loop, 1) {
+			return loop
+		}
+		return (m.g.Edge(a.edge).Weight - a.along) + loop + b.along
+	}
+	ea := m.g.Edge(a.edge)
+	eb := m.g.Edge(b.edge)
+	mid := m.sp.Dist(a.edge, b.edge)
+	if math.IsInf(mid, 1) {
+		return mid
+	}
+	return (ea.Weight - a.along) + (mid - eb.Weight) + b.along
+}
+
+// loopDist is the shortest way to leave an edge and re-enter it.
+func (m *Matcher) loopDist(e roadnet.EdgeID) float64 {
+	best := math.Inf(1)
+	for _, nxt := range m.g.Out(m.g.Edge(e).To) {
+		d := m.sp.Dist(nxt, e)
+		if !math.IsInf(d, 1) {
+			if v := m.g.Edge(nxt).Weight + d - m.g.Edge(e).Weight; v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Match runs Viterbi over the samples and returns the matched edge path
+// along with, per input sample, the index of the edge in the path it was
+// matched to. Samples with no candidates are skipped.
+func (m *Matcher) Match(raw traj.Raw) (traj.Path, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("mapmatch: empty trajectory")
+	}
+	type col struct {
+		cands []candidate
+		logp  []float64
+		back  []int
+	}
+	var cols []col
+	emission := func(d float64) float64 {
+		return -(d * d) / (2 * m.opt.Sigma * m.opt.Sigma)
+	}
+	var prevPt geo.Point
+	for _, rp := range raw {
+		cands := m.candidates(rp.Pos)
+		if len(cands) == 0 {
+			continue // off-network outlier
+		}
+		c := col{cands: cands, logp: make([]float64, len(cands)), back: make([]int, len(cands))}
+		if len(cols) == 0 {
+			for i, cd := range cands {
+				c.logp[i] = emission(cd.dist)
+				c.back[i] = -1
+			}
+		} else {
+			prev := &cols[len(cols)-1]
+			straight := prevPt.Dist(rp.Pos)
+			for i, cd := range cands {
+				bestLP := math.Inf(-1)
+				bestJ := -1
+				for j, pd := range prev.cands {
+					rd := m.routeDist(pd, cd)
+					if math.IsInf(rd, 1) {
+						continue
+					}
+					trans := -math.Abs(rd-straight) / m.opt.Beta
+					if lp := prev.logp[j] + trans; lp > bestLP {
+						bestLP = lp
+						bestJ = j
+					}
+				}
+				if bestJ < 0 {
+					c.logp[i] = math.Inf(-1)
+					c.back[i] = -1
+					continue
+				}
+				c.logp[i] = bestLP + emission(cd.dist)
+				c.back[i] = bestJ
+			}
+			// HMM break: no candidate connects. Restart the chain here.
+			allDead := true
+			for i := range c.logp {
+				if !math.IsInf(c.logp[i], -1) {
+					allDead = false
+					break
+				}
+			}
+			if allDead {
+				for i, cd := range cands {
+					c.logp[i] = emission(cd.dist)
+					c.back[i] = -1
+				}
+			}
+		}
+		cols = append(cols, c)
+		prevPt = rp.Pos
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("mapmatch: no sample has road candidates")
+	}
+	// Backtrack.
+	states := make([]candidate, len(cols))
+	last := &cols[len(cols)-1]
+	best := 0
+	for i := range last.logp {
+		if last.logp[i] > last.logp[best] {
+			best = i
+		}
+	}
+	idx := best
+	for c := len(cols) - 1; c >= 0; c-- {
+		states[c] = cols[c].cands[idx]
+		idx = cols[c].back[idx]
+		if idx < 0 && c > 0 {
+			// Chain restart: pick the best state of the previous column.
+			prev := &cols[c-1]
+			idx = 0
+			for i := range prev.logp {
+				if prev.logp[i] > prev.logp[idx] {
+					idx = i
+				}
+			}
+		}
+	}
+	return m.stitch(states)
+}
+
+// stitch joins the matched edge per sample into a connected path.
+func (m *Matcher) stitch(states []candidate) (traj.Path, error) {
+	var path traj.Path
+	for _, st := range states {
+		if len(path) == 0 {
+			path = append(path, st.edge)
+			continue
+		}
+		last := path[len(path)-1]
+		if st.edge == last {
+			continue
+		}
+		if m.g.Adjacent(last, st.edge) {
+			path = append(path, st.edge)
+			continue
+		}
+		sp := m.sp.Path(last, st.edge)
+		if sp == nil {
+			return nil, fmt.Errorf("mapmatch: cannot stitch edges %d -> %d", last, st.edge)
+		}
+		path = append(path, sp[1:]...)
+	}
+	return path, nil
+}
+
+// MatchAndReformat is the full front half of the PRESS pipeline: map
+// matching followed by trajectory re-formatting into (spatial path,
+// temporal sequence).
+func (m *Matcher) MatchAndReformat(raw traj.Raw) (*traj.Trajectory, error) {
+	path, err := m.Match(raw)
+	if err != nil {
+		return nil, err
+	}
+	return traj.Reformat(m.g, path, raw)
+}
+
+// edgeGrid is a uniform spatial hash of edge MBRs.
+type edgeGrid struct {
+	cell   float64
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	bucket [][]roadnet.EdgeID
+}
+
+func newEdgeGrid(g *roadnet.Graph, radius float64) *edgeGrid {
+	m := g.MBR()
+	cell := math.Max(radius, 1)
+	cols := int((m.MaxX-m.MinX)/cell) + 1
+	rows := int((m.MaxY-m.MinY)/cell) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	eg := &edgeGrid{cell: cell, minX: m.MinX, minY: m.MinY, cols: cols, rows: rows,
+		bucket: make([][]roadnet.EdgeID, cols*rows)}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		b := e.MBR().Expand(radius)
+		eg.each(b, func(idx int) {
+			eg.bucket[idx] = append(eg.bucket[idx], e.ID)
+		})
+	}
+	return eg
+}
+
+func (eg *edgeGrid) each(b geo.MBR, f func(idx int)) {
+	x0 := int((b.MinX - eg.minX) / eg.cell)
+	x1 := int((b.MaxX - eg.minX) / eg.cell)
+	y0 := int((b.MinY - eg.minY) / eg.cell)
+	y1 := int((b.MaxY - eg.minY) / eg.cell)
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0, x1 = clamp(x0, 0, eg.cols-1), clamp(x1, 0, eg.cols-1)
+	y0, y1 = clamp(y0, 0, eg.rows-1), clamp(y1, 0, eg.rows-1)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			f(y*eg.cols + x)
+		}
+	}
+}
+
+// near returns edge ids whose padded MBR covers p's cell.
+func (eg *edgeGrid) near(p geo.Point) []roadnet.EdgeID {
+	x := int((p.X - eg.minX) / eg.cell)
+	y := int((p.Y - eg.minY) / eg.cell)
+	if x < 0 || x >= eg.cols || y < 0 || y >= eg.rows {
+		return nil
+	}
+	return eg.bucket[y*eg.cols+x]
+}

@@ -1,0 +1,244 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"press/internal/gen"
+	"press/internal/geo"
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+func testSetup(t *testing.T) (*roadnet.Graph, *spindex.Table, *Matcher) {
+	t.Helper()
+	g, err := gen.City(gen.CityOptions{Rows: 7, Cols: 7, Spacing: 200, PosJitter: 0.15, RemoveEdgeProb: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := spindex.NewTable(g)
+	m, err := New(g, tab, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tab, m
+}
+
+func TestNewValidation(t *testing.T) {
+	g, tab, _ := testSetup(t)
+	bad := DefaultOptions()
+	bad.Sigma = 0
+	if _, err := New(g, tab, bad); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	ok := DefaultOptions()
+	ok.MaxCandidates = 0 // defaulted, not an error
+	if _, err := New(g, tab, ok); err != nil {
+		t.Errorf("MaxCandidates=0 should default: %v", err)
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	_, _, m := testSetup(t)
+	if _, err := m.Match(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	// All samples far outside the network.
+	off := traj.Raw{{Pos: geo.Point{X: 1e7, Y: 1e7}, T: 0}}
+	if _, err := m.Match(off); err == nil {
+		t.Error("off-network trajectory accepted")
+	}
+}
+
+// driveAndMatch generates ground-truth trips, simulates GPS, matches, and
+// measures how much of the true path is recovered.
+func TestMatchRecoversTruePathLowNoise(t *testing.T) {
+	g, _, m := testSetup(t)
+	trips, err := gen.Trips(g, gen.DefaultTrips(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := gen.DefaultGPS()
+	opt.NoiseSigma = 5
+	opt.SampleInterval = 10 // dense sampling
+	rng := rand.New(rand.NewSource(6))
+	matchedEdges, trueEdges := 0, 0
+	for _, trip := range trips {
+		raw, _, err := gen.Drive(g, trip, opt, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Match(raw)
+		if err != nil {
+			t.Fatalf("Match: %v", err)
+		}
+		if !g.IsPath([]roadnet.EdgeID(got)) {
+			t.Fatal("matched path not connected")
+		}
+		// Count true edges present in the matched path (order-preserving
+		// containment is too strict at trip tails; set overlap suffices to
+		// detect gross mismatches).
+		in := map[roadnet.EdgeID]bool{}
+		for _, e := range got {
+			in[e] = true
+		}
+		for _, e := range trip {
+			trueEdges++
+			if in[e] {
+				matchedEdges++
+			}
+		}
+	}
+	recall := float64(matchedEdges) / float64(trueEdges)
+	if recall < 0.85 {
+		t.Errorf("edge recall = %.2f, want >= 0.85", recall)
+	}
+}
+
+func TestMatchAndReformat(t *testing.T) {
+	g, _, m := testSetup(t)
+	trips, err := gen.Trips(g, gen.DefaultTrips(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, trip := range trips {
+		raw, _, err := gen.Drive(g, trip, gen.DefaultGPS(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := m.MatchAndReformat(raw)
+		if err != nil {
+			t.Fatalf("MatchAndReformat: %v", err)
+		}
+		if err := tr.Validate(g); err != nil {
+			t.Fatalf("reformatted trajectory invalid: %v", err)
+		}
+		if len(tr.Temporal) == 0 {
+			t.Fatal("no temporal entries")
+		}
+	}
+}
+
+func TestMatchSingleSample(t *testing.T) {
+	g, _, m := testSetup(t)
+	pos := g.Edge(0).Geometry.At(g.Edge(0).Weight / 2)
+	path, err := m.Match(traj.Raw{{Pos: pos, T: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Fatalf("single sample matched %d edges", len(path))
+	}
+	// The matched edge must pass within a few meters of the sample.
+	if d := g.Edge(path[0]).Geometry.DistToPoint(pos); d > 1 {
+		t.Errorf("matched edge %d is %.1f m away", path[0], d)
+	}
+}
+
+func TestEdgeGridCoversAllEdges(t *testing.T) {
+	g, _, m := testSetup(t)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		mid := e.Geometry.At(e.Weight / 2)
+		found := false
+		for _, id := range m.grid.near(mid) {
+			if id == e.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d not indexed near its own midpoint", e.ID)
+		}
+	}
+	if got := m.grid.near(geo.Point{X: -1e9, Y: -1e9}); got != nil {
+		t.Error("far query should return nil")
+	}
+}
+
+func TestRouteDistSameEdge(t *testing.T) {
+	_, _, m := testSetup(t)
+	a := candidate{edge: 0, along: 10}
+	b := candidate{edge: 0, along: 50}
+	if d := m.routeDist(a, b); d != 40 {
+		t.Errorf("forward same-edge dist = %v", d)
+	}
+	// Backward requires a loop: strictly positive.
+	if d := m.routeDist(b, a); d <= 0 {
+		t.Errorf("backward same-edge dist = %v, want positive", d)
+	}
+}
+
+// Recall must degrade gracefully, not collapse, as GPS noise rises.
+func TestMatchNoiseSweep(t *testing.T) {
+	g, _, m := testSetup(t)
+	trips, err := gen.Trips(g, gen.DefaultTrips(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, sigma := range []float64{2, 10, 25} {
+		opt := gen.DefaultGPS()
+		opt.NoiseSigma = sigma
+		opt.SampleInterval = 15
+		matched, trueEdges := 0, 0
+		for _, trip := range trips {
+			raw, _, err := gen.Drive(g, trip, opt, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Match(raw)
+			if err != nil {
+				continue
+			}
+			in := map[roadnet.EdgeID]bool{}
+			for _, e := range got {
+				in[e] = true
+			}
+			for _, e := range trip {
+				trueEdges++
+				if in[e] {
+					matched++
+				}
+			}
+		}
+		recall := float64(matched) / float64(trueEdges)
+		floor := 0.75
+		if sigma > 20 {
+			floor = 0.5
+		}
+		if recall < floor {
+			t.Errorf("sigma=%.0f: recall %.2f below %.2f", sigma, recall, floor)
+		}
+	}
+}
+
+// The matched path must start and end near the trajectory endpoints.
+func TestMatchEndpoints(t *testing.T) {
+	g, _, m := testSetup(t)
+	trips, err := gen.Trips(g, gen.DefaultTrips(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for _, trip := range trips {
+		raw, _, err := gen.Drive(g, trip, gen.DefaultGPS(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Match(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := g.Edge(got[0]).Geometry
+		last := g.Edge(got[len(got)-1]).Geometry
+		if first.DistToPoint(raw[0].Pos) > 120 {
+			t.Errorf("matched start %0.f m from first sample", first.DistToPoint(raw[0].Pos))
+		}
+		if last.DistToPoint(raw[len(raw)-1].Pos) > 120 {
+			t.Errorf("matched end %0.f m from last sample", last.DistToPoint(raw[len(raw)-1].Pos))
+		}
+	}
+}

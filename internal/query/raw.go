@@ -1,0 +1,119 @@
+package query
+
+import (
+	"errors"
+	"math"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+	"press/internal/traj"
+)
+
+// The Raw* functions are the reference query implementations over
+// uncompressed trajectories that Figs. 15-17 compare against. They follow
+// the paper's cost model: linear scans over the m temporal tuples and the n
+// edges, with no auxiliary structures ("the original trajectory does not
+// need any auxiliary structure").
+
+// WhereAtRaw returns the location along an uncompressed trajectory at time t.
+func WhereAtRaw(g *roadnet.Graph, tr *traj.Trajectory, t float64) geo.Point {
+	d := disLinear(tr.Temporal, t)
+	// Linear edge scan to locate the containing edge.
+	for _, id := range tr.Path {
+		e := g.Edge(id)
+		if d <= e.Weight {
+			return e.Geometry.At(d)
+		}
+		d -= e.Weight
+	}
+	if len(tr.Path) == 0 {
+		return geo.Point{}
+	}
+	gm := g.Edge(tr.Path[len(tr.Path)-1]).Geometry
+	return gm[len(gm)-1]
+}
+
+// WhenAtRaw returns the time the uncompressed trajectory passes p: a linear
+// scan projects p onto every edge, takes the closest, derives the network
+// distance, and inverts the temporal sequence.
+func WhenAtRaw(g *roadnet.Graph, tr *traj.Trajectory, p geo.Point) (float64, error) {
+	if len(tr.Path) == 0 {
+		return 0, errors.New("query: empty trajectory")
+	}
+	best := math.Inf(1)
+	var bestD float64
+	var prefix float64
+	for _, id := range tr.Path {
+		e := g.Edge(id)
+		_, along, dist := e.Geometry.Project(p)
+		if dist < best {
+			best = dist
+			bestD = prefix + along
+		}
+		prefix += e.Weight
+	}
+	return timLinear(tr.Temporal, bestD), nil
+}
+
+// RangeRaw reports whether the uncompressed trajectory passes region r
+// within [t1, t2] by scanning the spatial segment between the two
+// interpolated distances edge by edge.
+func RangeRaw(g *roadnet.Graph, tr *traj.Trajectory, t1, t2 float64, r geo.MBR) bool {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	d1 := disLinear(tr.Temporal, t1)
+	d2 := disLinear(tr.Temporal, t2)
+	var prefix float64
+	for _, id := range tr.Path {
+		e := g.Edge(id)
+		lo, hi := prefix, prefix+e.Weight
+		prefix = hi
+		if hi < d1 || lo > d2 {
+			continue
+		}
+		sub := subPolyline(e.Geometry, d1-lo, d2-lo)
+		if sub.IntersectsMBR(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// PassesNearRaw is the uncompressed counterpart of PassesNear.
+func PassesNearRaw(g *roadnet.Graph, tr *traj.Trajectory, p geo.Point, dist, t1, t2 float64) bool {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	d1 := disLinear(tr.Temporal, t1)
+	d2 := disLinear(tr.Temporal, t2)
+	var prefix float64
+	for _, id := range tr.Path {
+		e := g.Edge(id)
+		lo, hi := prefix, prefix+e.Weight
+		prefix = hi
+		if hi < d1 || lo > d2 {
+			continue
+		}
+		sub := subPolyline(e.Geometry, d1-lo, d2-lo)
+		if len(sub) > 0 && sub.DistToPoint(p) <= dist {
+			return true
+		}
+	}
+	return false
+}
+
+// MinDistanceRaw is the uncompressed counterpart of MinDistance: every edge
+// pair is compared, as §5.4 describes for the original approach.
+func MinDistanceRaw(g *roadnet.Graph, a, b *traj.Trajectory) float64 {
+	best := math.Inf(1)
+	for _, ia := range a.Path {
+		pa := g.Edge(ia).Geometry
+		for _, ib := range b.Path {
+			if d := polylineMinDist(pa, g.Edge(ib).Geometry); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

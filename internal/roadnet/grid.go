@@ -1,0 +1,36 @@
+package roadnet
+
+import "press/internal/geo"
+
+// Grid builds a rows×cols lattice with bidirectional edges between
+// orthogonal neighbours, spaced `spacing` meters apart. Vertex (r, c) has id
+// r*cols + c. It is the minimal deterministic network used throughout tests;
+// the gen package derives irregular city networks from it.
+func Grid(rows, cols int, spacing float64) (*Graph, error) {
+	vertices := make([]Vertex, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			vertices = append(vertices, Vertex{
+				ID:  VertexID(r*cols + c),
+				Pos: geo.Point{X: float64(c) * spacing, Y: float64(r) * spacing},
+			})
+		}
+	}
+	var edges []Edge
+	link := func(a, b VertexID) {
+		edges = append(edges, Edge{ID: EdgeID(len(edges)), From: a, To: b})
+		edges = append(edges, Edge{ID: EdgeID(len(edges)), From: b, To: a})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := VertexID(r*cols + c)
+			if c+1 < cols {
+				link(v, v+1)
+			}
+			if r+1 < rows {
+				link(v, VertexID((r+1)*cols+c))
+			}
+		}
+	}
+	return NewGraph(vertices, edges)
+}

@@ -1,0 +1,244 @@
+// Package roadnet models the road network substrate PRESS operates on: a
+// directed graph G = (V, E) with weighted edges carrying planar geometry.
+//
+// Edge identifiers are dense (0..|E|-1) so the shortest-path index and the
+// FST trie can use them directly as array indices and trie symbols.
+package roadnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"press/internal/geo"
+)
+
+// VertexID identifies a vertex (road intersection).
+type VertexID int32
+
+// EdgeID identifies a directed edge (road segment). NoEdge marks absence.
+type EdgeID int32
+
+// NoEdge is the sentinel for "no edge".
+const NoEdge EdgeID = -1
+
+// Vertex is a road intersection.
+type Vertex struct {
+	ID  VertexID
+	Pos geo.Point
+}
+
+// Edge is a directed road segment from one intersection to another. Weight
+// is the network length in meters (the paper's w(e)); Geometry is the edge's
+// polyline, whose length equals Weight for generated networks.
+type Edge struct {
+	ID       EdgeID
+	From, To VertexID
+	Weight   float64
+	Geometry geo.Polyline
+}
+
+// MBR returns the bounding rectangle of the edge geometry.
+func (e *Edge) MBR() geo.MBR { return e.Geometry.MBR() }
+
+// Graph is a directed road network.
+type Graph struct {
+	Vertices []Vertex
+	Edges    []Edge
+	out      [][]EdgeID // outgoing edge ids per vertex
+	in       [][]EdgeID // incoming edge ids per vertex
+}
+
+// NewGraph builds a graph from vertex positions and edge tuples, computing
+// adjacency and validating references. Edge weights, when zero, default to
+// geometric length.
+func NewGraph(vertices []Vertex, edges []Edge) (*Graph, error) {
+	g := &Graph{Vertices: vertices, Edges: edges}
+	g.out = make([][]EdgeID, len(vertices))
+	g.in = make([][]EdgeID, len(vertices))
+	for i := range vertices {
+		if vertices[i].ID != VertexID(i) {
+			return nil, fmt.Errorf("roadnet: vertex %d has id %d; ids must be dense", i, vertices[i].ID)
+		}
+	}
+	for i := range edges {
+		e := &edges[i]
+		if e.ID != EdgeID(i) {
+			return nil, fmt.Errorf("roadnet: edge %d has id %d; ids must be dense", i, e.ID)
+		}
+		if int(e.From) < 0 || int(e.From) >= len(vertices) || int(e.To) < 0 || int(e.To) >= len(vertices) {
+			return nil, fmt.Errorf("roadnet: edge %d references missing vertex (%d->%d)", i, e.From, e.To)
+		}
+		if len(e.Geometry) < 2 {
+			e.Geometry = geo.Polyline{vertices[e.From].Pos, vertices[e.To].Pos}
+		}
+		if e.Weight <= 0 {
+			e.Weight = e.Geometry.Length()
+		}
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("roadnet: edge %d has non-positive weight", i)
+		}
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+	}
+	return g, nil
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.Vertices) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.Edges[id] }
+
+// Vertex returns the vertex with the given id.
+func (g *Graph) Vertex(id VertexID) *Vertex { return &g.Vertices[id] }
+
+// Out returns the ids of edges leaving v.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+
+// In returns the ids of edges entering v.
+func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+
+// Adjacent reports whether b can directly follow a on a path, i.e. a ends
+// where b starts.
+func (g *Graph) Adjacent(a, b EdgeID) bool {
+	return g.Edges[a].To == g.Edges[b].From
+}
+
+// IsPath reports whether the edge sequence is a connected path.
+func (g *Graph) IsPath(path []EdgeID) bool {
+	for i := 1; i < len(path); i++ {
+		if !g.Adjacent(path[i-1], path[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PathLength returns the total weight of an edge sequence.
+func (g *Graph) PathLength(path []EdgeID) float64 {
+	var sum float64
+	for _, id := range path {
+		sum += g.Edges[id].Weight
+	}
+	return sum
+}
+
+// PathPolyline concatenates the geometry of a connected edge path.
+func (g *Graph) PathPolyline(path []EdgeID) geo.Polyline {
+	var pl geo.Polyline
+	for _, id := range path {
+		gm := g.Edges[id].Geometry
+		if len(pl) > 0 && pl[len(pl)-1] == gm[0] {
+			pl = append(pl, gm[1:]...)
+		} else {
+			pl = append(pl, gm...)
+		}
+	}
+	return pl
+}
+
+// PointAlongPath returns the planar position after traveling distance d from
+// the start of the edge path.
+func (g *Graph) PointAlongPath(path []EdgeID, d float64) geo.Point {
+	for _, id := range path {
+		e := &g.Edges[id]
+		if d <= e.Weight {
+			return e.Geometry.At(d)
+		}
+		d -= e.Weight
+	}
+	if len(path) == 0 {
+		return geo.Point{}
+	}
+	last := g.Edges[path[len(path)-1]].Geometry
+	return last[len(last)-1]
+}
+
+// MBR returns the bounding rectangle of the whole network.
+func (g *Graph) MBR() geo.MBR {
+	m := geo.EmptyMBR()
+	for i := range g.Vertices {
+		m.ExtendPoint(g.Vertices[i].Pos)
+	}
+	return m
+}
+
+// WriteTo serializes the graph to a simple line-oriented text format:
+//
+//	V <id> <x> <y>
+//	E <id> <from> <to> <weight>
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for i := range g.Vertices {
+		v := &g.Vertices[i]
+		c, err := fmt.Fprintf(bw, "V %d %g %g\n", v.ID, v.Pos.X, v.Pos.Y)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		c, err := fmt.Fprintf(bw, "E %d %d %d %g\n", e.ID, e.From, e.To, e.Weight)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses the format written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var vertices []Vertex
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "V":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: want V id x y", line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			x, err2 := strconv.ParseFloat(fields[2], 64)
+			y, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad vertex", line)
+			}
+			vertices = append(vertices, Vertex{VertexID(id), geo.Point{X: x, Y: y}})
+		case "E":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("roadnet: line %d: want E id from to weight", line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			from, err2 := strconv.Atoi(fields[2])
+			to, err3 := strconv.Atoi(fields[3])
+			w, err4 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad edge", line)
+			}
+			edges = append(edges, Edge{ID: EdgeID(id), From: VertexID(from), To: VertexID(to), Weight: w})
+		default:
+			return nil, fmt.Errorf("roadnet: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewGraph(vertices, edges)
+}

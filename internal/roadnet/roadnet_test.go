@@ -1,0 +1,167 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"press/internal/geo"
+)
+
+// buildDiamond returns a small diamond-shaped network:
+//
+//	    1
+//	  /   \
+//	0       3
+//	  \   /
+//	    2
+//
+// with bidirectional edges on every link.
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	vs := []Vertex{
+		{0, geo.Point{X: 0, Y: 0}},
+		{1, geo.Point{X: 10, Y: 10}},
+		{2, geo.Point{X: 10, Y: -10}},
+		{3, geo.Point{X: 20, Y: 0}},
+	}
+	links := [][2]VertexID{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+	var es []Edge
+	for _, l := range links {
+		es = append(es, Edge{ID: EdgeID(len(es)), From: l[0], To: l[1]})
+		es = append(es, Edge{ID: EdgeID(len(es)), From: l[1], To: l[0]})
+	}
+	g, err := NewGraph(vs, es)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	return g
+}
+
+func TestNewGraphDefaults(t *testing.T) {
+	g := buildDiamond(t)
+	if g.NumVertices() != 4 || g.NumEdges() != 8 {
+		t.Fatalf("sizes = %d,%d", g.NumVertices(), g.NumEdges())
+	}
+	e := g.Edge(0)
+	wantW := math.Hypot(10, 10)
+	if math.Abs(e.Weight-wantW) > 1e-9 {
+		t.Errorf("default weight = %v want %v", e.Weight, wantW)
+	}
+	if len(e.Geometry) != 2 {
+		t.Errorf("default geometry len = %d", len(e.Geometry))
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	vs := []Vertex{{0, geo.Point{}}, {1, geo.Point{X: 1}}}
+	if _, err := NewGraph(vs, []Edge{{ID: 5, From: 0, To: 1}}); err == nil {
+		t.Error("non-dense edge id accepted")
+	}
+	if _, err := NewGraph(vs, []Edge{{ID: 0, From: 0, To: 9}}); err == nil {
+		t.Error("dangling vertex accepted")
+	}
+	if _, err := NewGraph([]Vertex{{3, geo.Point{}}}, nil); err == nil {
+		t.Error("non-dense vertex id accepted")
+	}
+	// Zero-length edge (same position both ends, no geometry) must be rejected.
+	same := []Vertex{{0, geo.Point{X: 1, Y: 1}}, {1, geo.Point{X: 1, Y: 1}}}
+	if _, err := NewGraph(same, []Edge{{ID: 0, From: 0, To: 1}}); err == nil {
+		t.Error("zero-weight edge accepted")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := buildDiamond(t)
+	// edge 0: 0->1, edge 4: 1->3, edge 1: 1->0
+	if !g.Adjacent(0, 4) {
+		t.Error("0->1 then 1->3 should be adjacent")
+	}
+	if g.Adjacent(4, 0) {
+		t.Error("1->3 then 0->1 should not be adjacent")
+	}
+	if !g.IsPath([]EdgeID{0, 4}) || g.IsPath([]EdgeID{0, 6}) {
+		t.Error("IsPath wrong")
+	}
+	if len(g.Out(0)) != 2 || len(g.In(3)) != 2 {
+		t.Errorf("Out/In sizes = %d,%d", len(g.Out(0)), len(g.In(3)))
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g := buildDiamond(t)
+	path := []EdgeID{0, 4} // 0->1->3
+	wantLen := 2 * math.Hypot(10, 10)
+	if l := g.PathLength(path); math.Abs(l-wantLen) > 1e-9 {
+		t.Errorf("PathLength = %v want %v", l, wantLen)
+	}
+	pl := g.PathPolyline(path)
+	if len(pl) != 3 {
+		t.Fatalf("polyline len = %d want 3 (shared vertex merged)", len(pl))
+	}
+	if pl[1] != (geo.Point{X: 10, Y: 10}) {
+		t.Errorf("polyline mid = %v", pl[1])
+	}
+	mid := g.PointAlongPath(path, wantLen/2)
+	if mid.Dist(geo.Point{X: 10, Y: 10}) > 1e-9 {
+		t.Errorf("PointAlongPath mid = %v", mid)
+	}
+	end := g.PointAlongPath(path, wantLen+100)
+	if end.Dist(geo.Point{X: 20, Y: 0}) > 1e-9 {
+		t.Errorf("PointAlongPath clamp = %v", end)
+	}
+	if p := g.PointAlongPath(nil, 5); p != (geo.Point{}) {
+		t.Errorf("empty path point = %v", p)
+	}
+}
+
+func TestGraphMBR(t *testing.T) {
+	g := buildDiamond(t)
+	m := g.MBR()
+	if m.MinX != 0 || m.MaxX != 20 || m.MinY != -10 || m.MaxY != 10 {
+		t.Errorf("MBR = %+v", m)
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ")
+	}
+	for i := range g.Edges {
+		a, b := g.Edge(EdgeID(i)), g2.Edge(EdgeID(i))
+		if a.From != b.From || a.To != b.To || math.Abs(a.Weight-b.Weight) > 1e-9 {
+			t.Errorf("edge %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"V 0 0",              // short vertex
+		"E 0 0 1",            // short edge
+		"X 1 2 3",            // unknown record
+		"V zero 0 0",         // bad number
+		"E 0 bad 1 1",        // bad number
+		"V 0 0 0\nE 0 0 5 1", // dangling reference
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: error expected for %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	g, err := Read(strings.NewReader("# comment\n\nV 0 0 0\nV 1 5 0\nE 0 0 1 5\n"))
+	if err != nil || g.NumEdges() != 1 {
+		t.Errorf("comment parse failed: %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+package spindex
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+)
+
+// randomGraph builds a connected-ish random planar-ish digraph for
+// brute-force comparison.
+func randomGraph(t *testing.T, nv, ne int, seed int64) *roadnet.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]roadnet.Vertex, nv)
+	for i := range vs {
+		vs[i] = roadnet.Vertex{ID: roadnet.VertexID(i), Pos: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}}
+	}
+	var es []roadnet.Edge
+	// Ring to guarantee strong connectivity, then random chords.
+	for i := 0; i < nv; i++ {
+		es = append(es, roadnet.Edge{ID: roadnet.EdgeID(len(es)), From: roadnet.VertexID(i), To: roadnet.VertexID((i + 1) % nv), Weight: 1 + rng.Float64()*9})
+	}
+	for len(es) < ne {
+		a, b := rng.Intn(nv), rng.Intn(nv)
+		if a == b {
+			continue
+		}
+		es = append(es, roadnet.Edge{ID: roadnet.EdgeID(len(es)), From: roadnet.VertexID(a), To: roadnet.VertexID(b), Weight: 1 + rng.Float64()*9})
+	}
+	g, err := roadnet.NewGraph(vs, es)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	return g
+}
+
+// floydEdgeDist brute-forces edge-to-edge shortest distances on the line
+// graph with the same cost convention as Table.Dist.
+func floydEdgeDist(g *roadnet.Graph) [][]float64 {
+	n := g.NumEdges()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Inf(1)
+		}
+		d[i][i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range g.Out(g.Edge(roadnet.EdgeID(i)).To) {
+			w := g.Edge(j).Weight
+			if w < d[i][j] {
+				d[i][j] = w
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(d[i][k], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := d[i][k] + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestDistMatchesFloydWarshall(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := randomGraph(t, 12, 40, seed)
+		tab := NewTable(g)
+		want := floydEdgeDist(g)
+		for i := 0; i < g.NumEdges(); i++ {
+			for j := 0; j < g.NumEdges(); j++ {
+				got := tab.Dist(roadnet.EdgeID(i), roadnet.EdgeID(j))
+				if math.Abs(got-want[i][j]) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want[i][j], 1)) {
+					t.Fatalf("seed %d: Dist(%d,%d) = %v want %v", seed, i, j, got, want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	g := randomGraph(t, 15, 60, 7)
+	tab := NewTable(g)
+	n := g.NumEdges()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src, dst := roadnet.EdgeID(i), roadnet.EdgeID(j)
+			path := tab.Path(src, dst)
+			if !tab.Reachable(src, dst) {
+				if path != nil {
+					t.Fatalf("unreachable pair (%d,%d) returned path", i, j)
+				}
+				continue
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("path endpoints wrong for (%d,%d): %v", i, j, path)
+			}
+			if !g.IsPath(path) {
+				t.Fatalf("path not connected for (%d,%d): %v", i, j, path)
+			}
+			// Cost convention: sum of weights excluding the first edge.
+			want := g.PathLength(path) - g.Edge(src).Weight
+			if src == dst {
+				want = 0
+			}
+			if got := tab.Dist(src, dst); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("dist/path mismatch (%d,%d): %v vs %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSPEndIsPathPredecessor(t *testing.T) {
+	g := randomGraph(t, 12, 50, 3)
+	tab := NewTable(g)
+	n := g.NumEdges()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src, dst := roadnet.EdgeID(i), roadnet.EdgeID(j)
+			path := tab.Path(src, dst)
+			if len(path) < 2 {
+				continue
+			}
+			if got := tab.SPEnd(src, dst); got != path[len(path)-2] {
+				t.Fatalf("SPEnd(%d,%d) = %d want %d", i, j, got, path[len(path)-2])
+			}
+		}
+	}
+}
+
+// SP-containment within a Dijkstra tree: every prefix of a canonical
+// shortest path is itself the canonical shortest path to its endpoint.
+func TestCanonicalPathPrefixProperty(t *testing.T) {
+	g := randomGraph(t, 12, 50, 11)
+	tab := NewTable(g)
+	n := g.NumEdges()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src, dst := roadnet.EdgeID(i), roadnet.EdgeID(j)
+			path := tab.Path(src, dst)
+			for k := 1; k < len(path); k++ {
+				if tab.SPEnd(src, path[k]) != path[k-1] {
+					t.Fatalf("prefix property violated on (%d,%d) at %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGapDist(t *testing.T) {
+	g, err := roadnet.Grid(3, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g)
+	// Pick adjacent edges: out of vertex 0, an edge a; then edge b out of a's head.
+	a := g.Out(0)[0]
+	b := g.Out(g.Edge(a).To)[0]
+	if g.Edge(b).To == 0 { // avoid the immediate reverse edge
+		b = g.Out(g.Edge(a).To)[1]
+	}
+	if d := tab.GapDist(a, b); d != 0 {
+		t.Errorf("adjacent GapDist = %v", d)
+	}
+	if d := tab.GapDist(a, a); d != 0 {
+		t.Errorf("self GapDist = %v", d)
+	}
+	// A two-hop pair: gap must equal dist minus the final edge weight.
+	c := g.Out(g.Edge(b).To)[0]
+	if g.Edge(c).To == g.Edge(b).From {
+		c = g.Out(g.Edge(b).To)[1]
+	}
+	want := tab.Dist(a, c) - g.Edge(c).Weight
+	if d := tab.GapDist(a, c); math.Abs(d-want) > 1e-9 {
+		t.Errorf("GapDist = %v want %v", d, want)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	// Two vertices, one edge: nothing follows edge 0.
+	vs := []roadnet.Vertex{{ID: 0, Pos: geo.Point{}}, {ID: 1, Pos: geo.Point{X: 10}}, {ID: 2, Pos: geo.Point{X: 20}}}
+	es := []roadnet.Edge{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 2, To: 1},
+	}
+	g, err := roadnet.NewGraph(vs, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g)
+	if tab.Reachable(0, 1) {
+		t.Error("edge 1 should be unreachable from edge 0")
+	}
+	if p := tab.Path(0, 1); p != nil {
+		t.Errorf("unreachable path = %v", p)
+	}
+	if !math.IsInf(tab.GapDist(0, 1), 1) {
+		t.Error("unreachable GapDist should be +Inf")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Grid has many equal-length paths; the canonical path must be stable.
+	g, err := roadnet.Grid(4, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewTable(g)
+	b := NewTable(g)
+	err = quick.Check(func(x, y uint16) bool {
+		src := roadnet.EdgeID(int(x) % g.NumEdges())
+		dst := roadnet.EdgeID(int(y) % g.NumEdges())
+		pa, pb := a.Path(src, dst), b.Path(src, dst)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	g, err := roadnet.Grid(5, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				src := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+				dst := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+				if tab.Reachable(src, dst) {
+					_ = tab.Path(src, dst)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPrecomputeAllAndMemory(t *testing.T) {
+	g, err := roadnet.Grid(3, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g)
+	if tab.CachedRows() != 0 {
+		t.Fatal("fresh table has cached rows")
+	}
+	tab.PrecomputeAll()
+	if tab.CachedRows() != g.NumEdges() {
+		t.Errorf("CachedRows = %d want %d", tab.CachedRows(), g.NumEdges())
+	}
+	if tab.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+func TestVertexDijkstra(t *testing.T) {
+	g, err := roadnet.Grid(4, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := VertexDijkstra(g, 0, WeightCost, -1)
+	// Manhattan structure: vertex 15 (corner) is 6 hops * 100m away.
+	if math.Abs(s.Dist[15]-600) > 1e-9 {
+		t.Errorf("Dist[15] = %v", s.Dist[15])
+	}
+	path := s.PathTo(15)
+	if len(path) != 6 || !g.IsPath(path) {
+		t.Errorf("PathTo(15) = %v", path)
+	}
+	if g.Edge(path[0]).From != 0 || g.Edge(path[len(path)-1]).To != 15 {
+		t.Error("path endpoints wrong")
+	}
+	// Hop-count search agrees on a grid with uniform weights.
+	h := VertexDijkstra(g, 0, HopCost, -1)
+	if h.Dist[15] != 6 {
+		t.Errorf("hop Dist[15] = %v", h.Dist[15])
+	}
+	if got := h.PathTo(0); len(got) != 0 {
+		t.Errorf("PathTo(source) = %v", got)
+	}
+}
+
+func TestVertexDijkstraBounded(t *testing.T) {
+	g, err := roadnet.Grid(6, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := VertexDijkstra(g, 0, WeightCost, 150)
+	reached := 0
+	for _, d := range s.Dist {
+		if !math.IsInf(d, 1) {
+			reached++
+		}
+	}
+	// Source + 2 neighbours (100) + at most the 250-level frontier items that
+	// were queued before the bound cut off expansion.
+	if reached >= g.NumVertices() {
+		t.Error("bounded search expanded everything")
+	}
+	if math.IsInf(s.Dist[1], 1) || math.IsInf(s.Dist[6], 1) {
+		t.Error("bounded search missed direct neighbours")
+	}
+}
+
+// GapDist must equal the materialized interior length of the canonical
+// shortest path for every reachable pair.
+func TestGapDistMatchesPathInterior(t *testing.T) {
+	g := randomGraph(t, 10, 40, 19)
+	tab := NewTable(g)
+	for i := 0; i < g.NumEdges(); i++ {
+		for j := 0; j < g.NumEdges(); j++ {
+			src, dst := roadnet.EdgeID(i), roadnet.EdgeID(j)
+			if src == dst || !tab.Reachable(src, dst) {
+				continue
+			}
+			path := tab.Path(src, dst)
+			var interior float64
+			for _, e := range path[1 : len(path)-1] {
+				interior += g.Edge(e).Weight
+			}
+			if got := tab.GapDist(src, dst); math.Abs(got-interior) > 1e-9 {
+				t.Fatalf("GapDist(%d,%d) = %v want %v", i, j, got, interior)
+			}
+		}
+	}
+}

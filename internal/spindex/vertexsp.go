@@ -1,0 +1,119 @@
+package spindex
+
+import (
+	"container/heap"
+	"math"
+
+	"press/internal/roadnet"
+)
+
+// CostFunc maps an edge to its traversal cost for vertex-level searches.
+// It lets callers search by physical length (map matcher) or by hop count
+// (MMTC's "fewer intersections" objective).
+type CostFunc func(e *roadnet.Edge) float64
+
+// WeightCost traverses edges by their network length.
+func WeightCost(e *roadnet.Edge) float64 { return e.Weight }
+
+// HopCost counts each edge as one intersection crossed.
+func HopCost(*roadnet.Edge) float64 { return 1 }
+
+// VertexSearch holds the result of a single-source vertex-level Dijkstra.
+type VertexSearch struct {
+	g      *roadnet.Graph
+	Source roadnet.VertexID
+	Dist   []float64        // per-vertex cost from Source
+	Pred   []roadnet.EdgeID // incoming edge on the shortest path tree
+}
+
+// VertexDijkstra runs Dijkstra from src over vertices using the given cost.
+// When maxCost >= 0 the search stops expanding beyond it (unreached vertices
+// keep +Inf). A nil cost defaults to WeightCost.
+func VertexDijkstra(g *roadnet.Graph, src roadnet.VertexID, cost CostFunc, maxCost float64) *VertexSearch {
+	if cost == nil {
+		cost = WeightCost
+	}
+	n := g.NumVertices()
+	res := &VertexSearch{
+		g:      g,
+		Source: src,
+		Dist:   make([]float64, n),
+		Pred:   make([]roadnet.EdgeID, n),
+	}
+	done := make([]bool, n)
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+		res.Pred[i] = roadnet.NoEdge
+	}
+	res.Dist[src] = 0
+	q := &vpq{{int32(src), 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(vpqItem)
+		v := roadnet.VertexID(it.vertex)
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if maxCost >= 0 && it.dist > maxCost {
+			continue
+		}
+		for _, eid := range g.Out(v) {
+			e := g.Edge(eid)
+			if done[e.To] {
+				continue
+			}
+			nd := it.dist + cost(e)
+			if nd < res.Dist[e.To] || (nd == res.Dist[e.To] && eid < res.Pred[e.To]) {
+				res.Dist[e.To] = nd
+				res.Pred[e.To] = eid
+				heap.Push(q, vpqItem{int32(e.To), nd})
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the edge path from the search source to dst, or nil
+// when unreachable.
+func (s *VertexSearch) PathTo(dst roadnet.VertexID) []roadnet.EdgeID {
+	if math.IsInf(s.Dist[dst], 1) {
+		return nil
+	}
+	var rev []roadnet.EdgeID
+	for v := dst; v != s.Source; {
+		e := s.Pred[v]
+		if e == roadnet.NoEdge {
+			break
+		}
+		rev = append(rev, e)
+		v = s.g.Edge(e).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type vpqItem struct {
+	vertex int32
+	dist   float64
+}
+
+type vpq []vpqItem
+
+func (q vpq) Len() int { return len(q) }
+func (q vpq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].vertex < q[j].vertex
+}
+func (q vpq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *vpq) Push(x interface{}) { *q = append(*q, x.(vpqItem)) }
+func (q *vpq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

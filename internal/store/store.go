@@ -1,0 +1,184 @@
+// Package store provides a persistent container for compressed trajectory
+// fleets: an append-only file of PRESS-compressed records with an in-memory
+// offset index, so LBS backends can keep months of trajectories on disk and
+// read any one of them (or stream all of them) without loading the fleet.
+//
+// Layout (little endian):
+//
+//	magic "PRSS" | uint32 version | records...
+//	record: uint32 length | length bytes (core.Compressed.Marshal)
+//
+// The format is self-delimiting: Open rebuilds the index with one
+// sequential scan, so a crash mid-append loses at most the partial tail
+// record (detected and truncated away).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"press/internal/core"
+)
+
+var magic = [4]byte{'P', 'R', 'S', 'S'}
+
+const version = 1
+
+// ErrClosed is returned on use after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Store is an open fleet container. Reads are safe from one goroutine at a
+// time; interleave appends and reads from a single owner.
+type Store struct {
+	f       *os.File
+	offsets []int64 // record payload offsets
+	sizes   []int
+	wpos    int64
+	closed  bool
+}
+
+// Create makes a new empty store, truncating any existing file.
+func Create(path string) (*Store, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Store{f: f, wpos: 8}, nil
+}
+
+// Open opens an existing store and rebuilds the record index. A truncated
+// tail record (crash during append) is dropped and the file is truncated to
+// the last complete record.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{f: f}
+	if err := st.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (s *Store) scan() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
+		return fmt.Errorf("store: short header: %w", err)
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
+		return errors.New("store: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return fmt.Errorf("store: unsupported version %d", v)
+	}
+	end, err := s.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	pos := int64(8)
+	var lenBuf [4]byte
+	for pos+4 <= end {
+		if _, err := s.f.ReadAt(lenBuf[:], pos); err != nil {
+			return err
+		}
+		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if pos+4+n > end {
+			break // partial tail record: drop it
+		}
+		s.offsets = append(s.offsets, pos+4)
+		s.sizes = append(s.sizes, int(n))
+		pos += 4 + n
+	}
+	if pos < end {
+		if err := s.f.Truncate(pos); err != nil {
+			return err
+		}
+	}
+	s.wpos = pos
+	return nil
+}
+
+// Len returns the number of stored trajectories.
+func (s *Store) Len() int { return len(s.offsets) }
+
+// Append stores one compressed trajectory and returns its index.
+func (s *Store) Append(ct *core.Compressed) (int, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	blob := ct.Marshal()
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+	if _, err := s.f.WriteAt(lenBuf[:], s.wpos); err != nil {
+		return 0, err
+	}
+	if _, err := s.f.WriteAt(blob, s.wpos+4); err != nil {
+		return 0, err
+	}
+	s.offsets = append(s.offsets, s.wpos+4)
+	s.sizes = append(s.sizes, len(blob))
+	s.wpos += int64(4 + len(blob))
+	return len(s.offsets) - 1, nil
+}
+
+// Get reads the i-th compressed trajectory.
+func (s *Store) Get(i int) (*core.Compressed, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if i < 0 || i >= len(s.offsets) {
+		return nil, fmt.Errorf("store: index %d out of range [0,%d)", i, len(s.offsets))
+	}
+	blob := make([]byte, s.sizes[i])
+	if _, err := s.f.ReadAt(blob, s.offsets[i]); err != nil {
+		return nil, err
+	}
+	return core.UnmarshalCompressed(blob)
+}
+
+// Each streams every record in order; the callback returning false stops
+// the scan early.
+func (s *Store) Each(fn func(i int, ct *core.Compressed) bool) error {
+	for i := range s.offsets {
+		ct, err := s.Get(i)
+		if err != nil {
+			return err
+		}
+		if !fn(i, ct) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the file's payload size (including headers).
+func (s *Store) SizeBytes() int64 { return s.wpos }
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close releases the file handle.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}

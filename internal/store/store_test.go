@@ -1,0 +1,219 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"press/internal/core"
+	"press/internal/traj"
+)
+
+func sample(i int) *core.Compressed {
+	return &core.Compressed{
+		Spatial: &core.SpatialCode{Bits: []byte{byte(i), byte(i + 1)}, NBits: 13},
+		Temporal: traj.Temporal{
+			{D: 0, T: float64(i)},
+			{D: float64(100 * i), T: float64(i + 60)},
+		},
+	}
+}
+
+func TestCreateAppendGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 20; i++ {
+		idx, err := st.Append(sample(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("index = %d want %d", idx, i)
+		}
+	}
+	if st.Len() != 20 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	for i := 0; i < 20; i++ {
+		ct, err := st.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct.Spatial.NBits != 13 || ct.Spatial.Bits[0] != byte(i) {
+			t.Fatalf("record %d corrupted", i)
+		}
+		if len(ct.Temporal) != 2 || ct.Temporal[1].D != float64(100*i) {
+			t.Fatalf("record %d temporal corrupted", i)
+		}
+	}
+	if _, err := st.Get(20); err == nil {
+		t.Error("out-of-range Get accepted")
+	}
+	if _, err := st.Get(-1); err == nil {
+		t.Error("negative Get accepted")
+	}
+}
+
+func TestReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Append(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("reopened Len = %d", st2.Len())
+	}
+	// Appends continue after reopen.
+	if _, err := st2.Append(sample(5)); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := st2.Get(5)
+	if err != nil || ct.Spatial.Bits[0] != 5 {
+		t.Fatalf("post-reopen append broken: %v", err)
+	}
+}
+
+func TestCrashTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Append(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	// Simulate a crash mid-append: garbage partial record at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 3 {
+		t.Fatalf("Len after crash = %d want 3", st2.Len())
+	}
+	// The file must be truncated so future appends are clean.
+	if _, err := st2.Append(sample(9)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.Len() != 4 {
+		t.Fatalf("Len after repair+append = %d want 4", st3.Len())
+	}
+}
+
+func TestEach(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	err = st.Each(func(i int, ct *core.Compressed) bool {
+		if int(ct.Spatial.Bits[0]) != i {
+			t.Fatalf("record %d out of order", i)
+		}
+		seen++
+		return seen < 4 // early stop
+	})
+	if err != nil || seen != 4 {
+		t.Fatalf("Each stopped at %d (%v)", seen, err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.prss")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.prss")
+	os.WriteFile(bad, []byte("NOPE0000"), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	short := filepath.Join(dir, "short.prss")
+	os.WriteFile(short, []byte("PR"), 0o644)
+	if _, err := Open(short); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestClosedOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := st.Append(sample(0)); err != ErrClosed {
+		t.Error("Append after close accepted")
+	}
+	if _, err := st.Get(0); err != ErrClosed {
+		t.Error("Get after close accepted")
+	}
+	if err := st.Sync(); err != ErrClosed {
+		t.Error("Sync after close accepted")
+	}
+	if err := st.Close(); err != nil {
+		t.Error("double Close should be nil")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.SizeBytes() != 8 {
+		t.Fatalf("empty size = %d", st.SizeBytes())
+	}
+	ct := sample(1)
+	st.Append(ct)
+	want := int64(8 + 4 + ct.SizeBytes())
+	if st.SizeBytes() != want {
+		t.Fatalf("size = %d want %d", st.SizeBytes(), want)
+	}
+}

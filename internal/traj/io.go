@@ -1,0 +1,128 @@
+package traj
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+)
+
+// WriteRaw serializes raw trajectories to a line-oriented text format:
+//
+//	T <trajectory-index>
+//	P <x> <y> <t>
+//	P ...
+//
+// The format is the interchange format of cmd/pressgen and cmd/pressc.
+func WriteRaw(w io.Writer, raws []Raw) error {
+	bw := bufio.NewWriter(w)
+	for i, raw := range raws {
+		if _, err := fmt.Fprintf(bw, "T %d\n", i); err != nil {
+			return err
+		}
+		for _, p := range raw {
+			if _, err := fmt.Fprintf(bw, "P %g %g %g\n", p.Pos.X, p.Pos.Y, p.T); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRaw parses the format written by WriteRaw.
+func ReadRaw(r io.Reader) ([]Raw, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []Raw
+	var cur Raw
+	line := 0
+	flush := func() {
+		if cur != nil {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "T":
+			flush()
+			cur = Raw{}
+		case "P":
+			if cur == nil {
+				return nil, fmt.Errorf("traj: line %d: P before T", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("traj: line %d: want P x y t", line)
+			}
+			x, err1 := strconv.ParseFloat(fields[1], 64)
+			y, err2 := strconv.ParseFloat(fields[2], 64)
+			tm, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("traj: line %d: bad sample", line)
+			}
+			cur = append(cur, RawPoint{Pos: geo.Point{X: x, Y: y}, T: tm})
+		default:
+			return nil, fmt.Errorf("traj: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}
+
+// WritePaths serializes spatial paths: one "S e1 e2 e3 ..." line per path.
+func WritePaths(w io.Writer, paths []Path) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range paths {
+		bw.WriteString("S")
+		for _, e := range p {
+			fmt.Fprintf(bw, " %d", e)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadPaths parses the format written by WritePaths.
+func ReadPaths(r io.Reader) ([]Path, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []Path
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] != "S" {
+			return nil, fmt.Errorf("traj: line %d: unknown record %q", line, fields[0])
+		}
+		var p Path
+		for _, f := range fields[1:] {
+			id, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("traj: line %d: bad edge id %q", line, f)
+			}
+			p = append(p, roadnet.EdgeID(id))
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"press/internal/geo"
+)
+
+func TestRawIORoundTrip(t *testing.T) {
+	raws := []Raw{
+		{{geo.Point{X: 1.5, Y: 2}, 0}, {geo.Point{X: 3, Y: 4}, 30}},
+		{{geo.Point{X: -7, Y: 0.25}, 10}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || len(back[0]) != 2 || len(back[1]) != 1 {
+		t.Fatalf("shape = %v", back)
+	}
+	if back[0][1].Pos != (geo.Point{X: 3, Y: 4}) || back[0][1].T != 30 {
+		t.Errorf("sample = %+v", back[0][1])
+	}
+}
+
+func TestReadRawErrors(t *testing.T) {
+	cases := []string{
+		"P 1 2 3",      // sample before trajectory
+		"T 0\nP 1 2",   // short sample
+		"T 0\nP a b c", // bad numbers
+		"X 1",          // unknown record
+	}
+	for i, c := range cases {
+		if _, err := ReadRaw(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Comments and blanks skipped.
+	got, err := ReadRaw(strings.NewReader("# hi\n\nT 0\nP 1 2 3\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("comment parse: %v (%v)", got, err)
+	}
+}
+
+func TestPathsIORoundTrip(t *testing.T) {
+	paths := []Path{{1, 2, 3}, {9}, {}}
+	var buf bytes.Buffer
+	if err := WritePaths(&buf, paths); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPaths(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || !back[0].Equal(paths[0]) || !back[1].Equal(paths[1]) || len(back[2]) != 0 {
+		t.Fatalf("roundtrip = %v", back)
+	}
+}
+
+func TestReadPathsErrors(t *testing.T) {
+	if _, err := ReadPaths(strings.NewReader("Q 1 2")); err == nil {
+		t.Error("unknown record accepted")
+	}
+	if _, err := ReadPaths(strings.NewReader("S 1 x")); err == nil {
+		t.Error("bad edge id accepted")
+	}
+}

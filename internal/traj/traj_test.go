@@ -1,0 +1,245 @@
+package traj
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRawValidateAndSize(t *testing.T) {
+	r := Raw{{geo.Point{}, 0}, {geo.Point{X: 1}, 10}, {geo.Point{X: 2}, 20}}
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid raw rejected: %v", err)
+	}
+	if r.SizeBytes() != 72 {
+		t.Errorf("SizeBytes = %d", r.SizeBytes())
+	}
+	bad := Raw{{geo.Point{}, 10}, {geo.Point{}, 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("time-reversed raw accepted")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{3, 1, 4}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 3 {
+		t.Error("Clone aliases")
+	}
+	if !p.Equal(Path{3, 1, 4}) || p.Equal(q) || p.Equal(Path{3, 1}) {
+		t.Error("Equal wrong")
+	}
+	if p.SizeBytes() != 12 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+}
+
+func TestTemporalValidate(t *testing.T) {
+	good := Temporal{{0, 0}, {5, 10}, {5, 20}, {9, 30}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid temporal rejected: %v", err)
+	}
+	if err := (Temporal{{0, 0}, {5, 0}}).Validate(); err == nil {
+		t.Error("equal timestamps accepted")
+	}
+	if err := (Temporal{{5, 0}, {4, 10}}).Validate(); err == nil {
+		t.Error("decreasing distance accepted")
+	}
+	if got := good.Duration(); got != 30 {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := good.Distance(); got != 9 {
+		t.Errorf("Distance = %v", got)
+	}
+}
+
+func TestDis(t *testing.T) {
+	ts := Temporal{{0, 0}, {100, 10}, {100, 20}, {200, 30}}
+	tests := []struct {
+		tx, want float64
+	}{
+		{-5, 0},   // clamp before
+		{0, 0},    // exact start
+		{5, 50},   // interpolation
+		{10, 100}, // breakpoint
+		{15, 100}, // flat (taxi waiting)
+		{25, 150}, // second slope
+		{30, 200}, // end
+		{99, 200}, // clamp after
+	}
+	for _, tc := range tests {
+		if got := ts.Dis(tc.tx); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("Dis(%v) = %v want %v", tc.tx, got, tc.want)
+		}
+	}
+}
+
+func TestTim(t *testing.T) {
+	ts := Temporal{{0, 0}, {100, 10}, {100, 20}, {200, 30}}
+	tests := []struct {
+		dx, want float64
+	}{
+		{-5, 0},   // clamp
+		{0, 0},    // start
+		{50, 5},   // interpolation
+		{100, 10}, // FIRST arrival at the plateau
+		{150, 25},
+		{200, 30},
+		{999, 30}, // clamp
+	}
+	for _, tc := range tests {
+		if got := ts.Tim(tc.dx); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("Tim(%v) = %v want %v", tc.dx, got, tc.want)
+		}
+	}
+}
+
+func TestTimFinalPlateau(t *testing.T) {
+	// Object reaches the destination at t=10 and idles until t=30: Tim of the
+	// final distance must be the first arrival.
+	ts := Temporal{{0, 0}, {100, 10}, {100, 30}}
+	if got := ts.Tim(100); got != 10 {
+		t.Errorf("Tim(final) = %v want 10", got)
+	}
+}
+
+// Dis and Tim are approximate inverses wherever the trajectory is strictly
+// moving.
+func TestDisTimInverse(t *testing.T) {
+	ts := Temporal{{0, 0}, {40, 7}, {90, 13}, {200, 40}, {260, 55}}
+	err := quick.Check(func(seed uint16) bool {
+		tx := float64(seed%5500) / 100.0
+		d := ts.Dis(tx)
+		back := ts.Tim(d)
+		return almostEq(ts.Dis(back), d, 1e-6)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTemporal(t *testing.T) {
+	var ts Temporal
+	if ts.Dis(5) != 0 || ts.Tim(5) != 0 || ts.Duration() != 0 || ts.Distance() != 0 {
+		t.Error("empty temporal accessors should be zero")
+	}
+}
+
+func gridAndPath(t *testing.T) (*roadnet.Graph, Path) {
+	t.Helper()
+	g, err := roadnet.Grid(3, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk vertex 0 -> 1 -> 2 -> 5 (east, east, south in grid layout).
+	var path Path
+	walk := []roadnet.VertexID{0, 1, 2, 5}
+	for i := 1; i < len(walk); i++ {
+		found := roadnet.NoEdge
+		for _, e := range g.Out(walk[i-1]) {
+			if g.Edge(e).To == walk[i] {
+				found = e
+			}
+		}
+		if found == roadnet.NoEdge {
+			t.Fatalf("no edge %d->%d", walk[i-1], walk[i])
+		}
+		path = append(path, found)
+	}
+	return g, path
+}
+
+func TestReformat(t *testing.T) {
+	g, path := gridAndPath(t)
+	// Samples along the path with small lateral noise.
+	raw := Raw{
+		{geo.Point{X: 0, Y: 3}, 0},
+		{geo.Point{X: 120, Y: -4}, 30},
+		{geo.Point{X: 198, Y: 2}, 60},
+		{geo.Point{X: 200, Y: 55}, 90},
+	}
+	tr, err := Reformat(g, path, raw)
+	if err != nil {
+		t.Fatalf("Reformat: %v", err)
+	}
+	if len(tr.Temporal) != 4 {
+		t.Fatalf("temporal len = %d", len(tr.Temporal))
+	}
+	wantD := []float64{0, 120, 198, 255}
+	for i, w := range wantD {
+		if !almostEq(tr.Temporal[i].D, w, 1e-6) {
+			t.Errorf("d[%d] = %v want %v", i, tr.Temporal[i].D, w)
+		}
+	}
+	if err := tr.Validate(g); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestReformatMonotoneAndDrops(t *testing.T) {
+	g, path := gridAndPath(t)
+	raw := Raw{
+		{geo.Point{X: 100, Y: 0}, 0},
+		{geo.Point{X: 90, Y: 5}, 10},  // jitter backward: must clamp to d=100
+		{geo.Point{X: 150, Y: 0}, 10}, // duplicate timestamp: dropped
+		{geo.Point{X: 150, Y: 0}, 20},
+	}
+	tr, err := Reformat(g, path, raw)
+	if err != nil {
+		t.Fatalf("Reformat: %v", err)
+	}
+	if len(tr.Temporal) != 3 {
+		t.Fatalf("temporal len = %d want 3", len(tr.Temporal))
+	}
+	if tr.Temporal[1].D < tr.Temporal[0].D {
+		t.Error("monotone clamp failed")
+	}
+	if !almostEq(tr.Temporal[1].D, 100, 1e-6) {
+		t.Errorf("clamped d = %v", tr.Temporal[1].D)
+	}
+}
+
+func TestReformatErrors(t *testing.T) {
+	g, path := gridAndPath(t)
+	if _, err := Reformat(g, nil, Raw{{geo.Point{}, 0}}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Reformat(g, path, nil); err == nil {
+		t.Error("empty raw accepted")
+	}
+	if _, err := Reformat(g, path, Raw{{geo.Point{}, 5}, {geo.Point{}, 5}}); err == nil {
+		// Both samples share t=5; the second is dropped, one survives — fine.
+		// But a single surviving sample is still a valid trajectory.
+		_ = err
+	}
+}
+
+func TestTrajectoryValidate(t *testing.T) {
+	g, path := gridAndPath(t)
+	bad := &Trajectory{Path: Path{path[0], path[2]}, Temporal: Temporal{{0, 0}}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("disconnected path accepted")
+	}
+	tooFar := &Trajectory{Path: path, Temporal: Temporal{{0, 0}, {9999, 10}}}
+	if err := tooFar.Validate(g); err == nil {
+		t.Error("distance beyond path length accepted")
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	g, path := gridAndPath(t)
+	tr := &Trajectory{Path: path, Temporal: Temporal{{0, 0}, {300, 30}}}
+	p := tr.PositionAt(g, 15)
+	if p.Dist(geo.Point{X: 150, Y: 0}) > 1e-6 {
+		t.Errorf("PositionAt mid = %v", p)
+	}
+	if tr.SizeBytes() != 3*4+2*16 {
+		t.Errorf("SizeBytes = %d", tr.SizeBytes())
+	}
+}

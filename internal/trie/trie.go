@@ -1,0 +1,328 @@
+// Package trie implements the frequent sub-trajectory (FST) machinery of
+// PRESS §3.2: a trie over all θ-bounded sub-trajectories of a training
+// corpus (Fig. 5), the Aho–Corasick automaton built on top of it (Fig. 6),
+// and the stack-based trajectory decomposition of Algorithm 2.
+//
+// Symbols are road-network edge identifiers. Node 0 is the root. Following
+// the paper, inserting a sub-trajectory increments the frequency of every
+// node along its path (so a node's frequency counts how many extracted
+// sub-trajectories have its string as a prefix), and every edge of the
+// network is forced into the first level — frequency zero if never seen —
+// which guarantees the decomposition automaton always converges.
+package trie
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"press/internal/roadnet"
+)
+
+// NodeID identifies a trie node; Root is always 0, NoNode marks absence.
+type NodeID int32
+
+// Root is the id of the trie root.
+const Root NodeID = 0
+
+// NoNode is the sentinel for "no such node".
+const NoNode NodeID = -1
+
+// Trie is the FST dictionary plus its Aho–Corasick automaton. Build one
+// with NewBuilder; a finished Trie is immutable and safe for concurrent use.
+type Trie struct {
+	theta    int
+	numEdges int
+
+	parent    []NodeID
+	label     []roadnet.EdgeID // edge on the link from parent
+	depth     []int32
+	freq      []uint64
+	firstEdge []roadnet.EdgeID // first edge of the node's string
+	children  []map[roadnet.EdgeID]NodeID
+	fail      []NodeID // Aho–Corasick suffix links
+}
+
+// Builder accumulates training sub-trajectories.
+type Builder struct {
+	t      *Trie
+	closed bool
+}
+
+// NewBuilder creates a builder for a road network with numEdges edges and
+// sub-trajectory length bound theta (the paper's θ).
+func NewBuilder(numEdges, theta int) (*Builder, error) {
+	if numEdges <= 0 {
+		return nil, errors.New("trie: numEdges must be positive")
+	}
+	if theta <= 0 {
+		return nil, errors.New("trie: theta must be positive")
+	}
+	t := &Trie{theta: theta, numEdges: numEdges}
+	t.addNode(NoNode, roadnet.NoEdge) // root
+	return &Builder{t: t}, nil
+}
+
+func (t *Trie) addNode(parent NodeID, label roadnet.EdgeID) NodeID {
+	id := NodeID(len(t.parent))
+	t.parent = append(t.parent, parent)
+	t.label = append(t.label, label)
+	t.freq = append(t.freq, 0)
+	t.children = append(t.children, nil)
+	if parent == NoNode {
+		t.depth = append(t.depth, 0)
+		t.firstEdge = append(t.firstEdge, roadnet.NoEdge)
+	} else {
+		t.depth = append(t.depth, t.depth[parent]+1)
+		if parent == Root {
+			t.firstEdge = append(t.firstEdge, label)
+		} else {
+			t.firstEdge = append(t.firstEdge, t.firstEdge[parent])
+		}
+		if t.children[parent] == nil {
+			t.children[parent] = make(map[roadnet.EdgeID]NodeID)
+		}
+		t.children[parent][label] = id
+	}
+	return id
+}
+
+// AddTrajectory registers one training trajectory (already SP-compressed in
+// the PRESS pipeline): every sub-trajectory starting at each position, with
+// length capped at θ, is inserted and all prefix nodes gain frequency.
+func (b *Builder) AddTrajectory(path []roadnet.EdgeID) error {
+	if b.closed {
+		return errors.New("trie: builder already finished")
+	}
+	t := b.t
+	for start := range path {
+		end := start + t.theta
+		if end > len(path) {
+			end = len(path)
+		}
+		node := Root
+		for _, e := range path[start:end] {
+			if int(e) < 0 || int(e) >= t.numEdges {
+				return fmt.Errorf("trie: edge id %d out of range", e)
+			}
+			child, ok := t.children[node][e]
+			if !ok {
+				child = t.addNode(node, e)
+			}
+			t.freq[child]++
+			node = child
+		}
+	}
+	return nil
+}
+
+// Finish completes the level-1 alphabet, builds the Aho–Corasick suffix
+// links and returns the immutable trie.
+func (b *Builder) Finish() *Trie {
+	if b.closed {
+		return b.t
+	}
+	b.closed = true
+	t := b.t
+	// Paper: "we add the rest edges to the first level with the
+	// corresponding frequency set to zero".
+	for e := 0; e < t.numEdges; e++ {
+		if _, ok := t.children[Root][roadnet.EdgeID(e)]; !ok {
+			t.addNode(Root, roadnet.EdgeID(e))
+		}
+	}
+	t.buildFailLinks()
+	return t
+}
+
+// buildFailLinks computes suffix links breadth-first; children are visited
+// in sorted label order for determinism.
+func (t *Trie) buildFailLinks() {
+	t.fail = make([]NodeID, len(t.parent))
+	for i := range t.fail {
+		t.fail[i] = Root
+	}
+	queue := make([]NodeID, 0, len(t.parent))
+	for _, c := range t.sortedChildren(Root) {
+		t.fail[c] = Root
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range t.sortedChildren(n) {
+			e := t.label[c]
+			f := t.fail[n]
+			for {
+				if g, ok := t.children[f][e]; ok && g != c {
+					t.fail[c] = g
+					break
+				}
+				if f == Root {
+					t.fail[c] = Root
+					break
+				}
+				f = t.fail[f]
+			}
+			queue = append(queue, c)
+		}
+	}
+}
+
+func (t *Trie) sortedChildren(n NodeID) []NodeID {
+	m := t.children[n]
+	if len(m) == 0 {
+		return nil
+	}
+	labels := make([]int, 0, len(m))
+	for e := range m {
+		labels = append(labels, int(e))
+	}
+	sort.Ints(labels)
+	out := make([]NodeID, len(labels))
+	for i, e := range labels {
+		out[i] = m[roadnet.EdgeID(e)]
+	}
+	return out
+}
+
+// NumNodes returns the node count including the root.
+func (t *Trie) NumNodes() int { return len(t.parent) }
+
+// Theta returns the θ the trie was built with.
+func (t *Trie) Theta() int { return t.theta }
+
+// NumEdges returns the alphabet size.
+func (t *Trie) NumEdges() int { return t.numEdges }
+
+// Freq returns the node's frequency (number of extracted training
+// sub-trajectories having its string as a prefix).
+func (t *Trie) Freq(n NodeID) uint64 { return t.freq[n] }
+
+// Depth returns the node's depth (string length); the root has depth 0.
+func (t *Trie) Depth(n NodeID) int { return int(t.depth[n]) }
+
+// Parent returns the node's parent (NoNode for the root).
+func (t *Trie) Parent(n NodeID) NodeID { return t.parent[n] }
+
+// LastEdge returns the final edge of the node's string.
+func (t *Trie) LastEdge(n NodeID) roadnet.EdgeID { return t.label[n] }
+
+// FirstEdge returns the first edge of the node's string.
+func (t *Trie) FirstEdge(n NodeID) roadnet.EdgeID { return t.firstEdge[n] }
+
+// Child returns the child of n along edge e, or NoNode.
+func (t *Trie) Child(n NodeID, e roadnet.EdgeID) NodeID {
+	if c, ok := t.children[n][e]; ok {
+		return c
+	}
+	return NoNode
+}
+
+// NodeString materializes the sub-trajectory a node represents.
+func (t *Trie) NodeString(n NodeID) []roadnet.EdgeID {
+	d := t.Depth(n)
+	out := make([]roadnet.EdgeID, d)
+	for i := d - 1; i >= 0; i-- {
+		out[i] = t.label[n]
+		n = t.parent[n]
+	}
+	return out
+}
+
+// Lookup returns the node whose string equals the given sequence, or NoNode.
+func (t *Trie) Lookup(path []roadnet.EdgeID) NodeID {
+	n := Root
+	for _, e := range path {
+		n = t.Child(n, e)
+		if n == NoNode {
+			return NoNode
+		}
+	}
+	return n
+}
+
+// Frequencies returns the per-node frequency slice indexed by NodeID. The
+// Huffman stage uses it (root included, weight 0 there, but the root is
+// never encoded).
+func (t *Trie) Frequencies() []uint64 {
+	out := make([]uint64, len(t.freq))
+	copy(out, t.freq)
+	return out
+}
+
+// step advances the automaton from state n over edge e, following suffix
+// links on mismatch. It always lands somewhere because level 1 is complete.
+func (t *Trie) step(n NodeID, e roadnet.EdgeID) NodeID {
+	for {
+		if c, ok := t.children[n][e]; ok {
+			return c
+		}
+		if n == Root {
+			// Level 1 is complete, so this cannot happen for valid edges;
+			// guard anyway for out-of-range input.
+			return NoNode
+		}
+		n = t.fail[n]
+	}
+}
+
+// Decompose splits a trajectory into a sequence of trie nodes per
+// Algorithm 2: the automaton consumes the edges pushing one matched state
+// per edge, then the stack is unwound backward taking the longest match at
+// each uncovered position. The concatenated node strings reproduce the
+// input exactly.
+func (t *Trie) Decompose(path []roadnet.EdgeID) ([]NodeID, error) {
+	if len(path) == 0 {
+		return nil, nil
+	}
+	states := make([]NodeID, len(path))
+	n := Root
+	for i, e := range path {
+		if int(e) < 0 || int(e) >= t.numEdges {
+			return nil, fmt.Errorf("trie: edge id %d out of range", e)
+		}
+		n = t.step(n, e)
+		if n == NoNode {
+			return nil, fmt.Errorf("trie: automaton stuck at position %d", i)
+		}
+		states[i] = n
+	}
+	// Backward pass (the second WHILE loop of Algorithm 2).
+	var rev []NodeID
+	skip := 0
+	for i := len(states) - 1; i >= 0; i-- {
+		if skip > 0 {
+			skip--
+			continue
+		}
+		node := states[i]
+		rev = append(rev, node)
+		skip = t.Depth(node) - 1
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Recompose expands a node sequence back to the edge sequence.
+func (t *Trie) Recompose(nodes []NodeID) []roadnet.EdgeID {
+	var out []roadnet.EdgeID
+	for _, n := range nodes {
+		out = append(out, t.NodeString(n)...)
+	}
+	return out
+}
+
+// MemoryBytes estimates the trie's resident size for the §6.2 auxiliary
+// structure report.
+func (t *Trie) MemoryBytes() int {
+	n := len(t.parent)
+	per := 4 + 4 + 4 + 8 + 4 + 4 // parent, label, depth, freq, firstEdge, fail
+	links := 0
+	for _, m := range t.children {
+		links += len(m) * 12
+	}
+	return n*per + links
+}

@@ -1,0 +1,348 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"press/internal/roadnet"
+)
+
+// e maps the paper's 1-based edge names to 0-based ids: e(1) is the paper's e1.
+func e(i int) roadnet.EdgeID { return roadnet.EdgeID(i - 1) }
+
+func es(is ...int) []roadnet.EdgeID {
+	out := make([]roadnet.EdgeID, len(is))
+	for i, v := range is {
+		out[i] = e(v)
+	}
+	return out
+}
+
+// paperTrie builds the exact training set of Fig. 5 (10 edges, θ=3).
+func paperTrie(t *testing.T) *Trie {
+	t.Helper()
+	b, err := NewBuilder(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, traj := range [][]roadnet.EdgeID{
+		es(1, 5, 8, 6, 3),
+		es(1, 5, 2, 1, 4, 8),
+		es(2, 1, 4, 6),
+	} {
+		if err := b.AddTrajectory(traj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Finish()
+}
+
+func TestPaperFig5NodeCount(t *testing.T) {
+	tr := paperTrie(t)
+	// The paper's trie has 27 nodes; ours additionally counts the root.
+	if got := tr.NumNodes(); got != 28 {
+		t.Errorf("NumNodes = %d want 28", got)
+	}
+}
+
+func TestPaperFig5Frequencies(t *testing.T) {
+	tr := paperTrie(t)
+	tests := []struct {
+		path []roadnet.EdgeID
+		want uint64
+	}{
+		{es(1), 4}, // paper: link into node 1 labelled 4
+		{es(5), 2},
+		{es(8), 2},
+		{es(2), 2},
+		{es(3), 1},
+		{es(4), 2},
+		{es(6), 2},
+		{es(7), 0},  // forced level-1 edge
+		{es(9), 0},  // forced level-1 edge
+		{es(10), 0}, // forced level-1 edge
+		{es(1, 4), 2},
+		{es(1, 4, 6), 1},
+		{es(1, 4, 8), 1},
+		{es(1, 5), 2},
+		{es(1, 5, 8), 1},
+		{es(1, 5, 2), 1},
+		{es(2, 1, 4), 2}, // appears in Ts2 and Ts3
+		{es(8, 6, 3), 1},
+	}
+	for _, tc := range tests {
+		n := tr.Lookup(tc.path)
+		if n == NoNode {
+			t.Errorf("Lookup(%v) missing", tc.path)
+			continue
+		}
+		if got := tr.Freq(n); got != tc.want {
+			t.Errorf("Freq(%v) = %d want %d", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestPaperFig5MissingDeepNodes(t *testing.T) {
+	tr := paperTrie(t)
+	// Sub-trajectories never extracted must not exist.
+	for _, p := range [][]roadnet.EdgeID{es(1, 4, 7), es(3, 1), es(10, 10), es(7, 5)} {
+		if n := tr.Lookup(p); n != NoNode {
+			t.Errorf("Lookup(%v) = %d, want NoNode", p, n)
+		}
+	}
+}
+
+// TestPaperDecomposition replays the worked example of §3.2.2 / Table 1.
+func TestPaperDecomposition(t *testing.T) {
+	tr := paperTrie(t)
+	input := es(1, 4, 7, 5, 8, 6, 3, 1, 5, 2, 10)
+	nodes, err := tr.Decompose(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]roadnet.EdgeID{
+		es(1, 4), es(7), es(5), es(8, 6, 3), es(1, 5, 2), es(10),
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("decomposed into %d pieces, want %d: %v", len(nodes), len(want), nodes)
+	}
+	for i, n := range nodes {
+		if got := tr.NodeString(n); !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("piece %d = %v want %v", i, got, want[i])
+		}
+	}
+	if got := tr.Recompose(nodes); !reflect.DeepEqual(got, input) {
+		t.Errorf("Recompose = %v", got)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(0, 3); err == nil {
+		t.Error("zero alphabet accepted")
+	}
+	if _, err := NewBuilder(5, 0); err == nil {
+		t.Error("zero theta accepted")
+	}
+	b, _ := NewBuilder(5, 3)
+	if err := b.AddTrajectory([]roadnet.EdgeID{9}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	b.Finish()
+	if err := b.AddTrajectory([]roadnet.EdgeID{1}); err == nil {
+		t.Error("AddTrajectory after Finish accepted")
+	}
+}
+
+func TestFinishIdempotentAndCompleteLevel1(t *testing.T) {
+	b, _ := NewBuilder(7, 2)
+	_ = b.AddTrajectory([]roadnet.EdgeID{0, 1})
+	tr := b.Finish()
+	if tr2 := b.Finish(); tr2 != tr {
+		t.Error("second Finish returned different trie")
+	}
+	for e := 0; e < 7; e++ {
+		if tr.Child(Root, roadnet.EdgeID(e)) == NoNode {
+			t.Errorf("level-1 edge %d missing", e)
+		}
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	tr := paperTrie(t)
+	n := tr.Lookup(es(8, 6, 3))
+	if tr.Depth(n) != 3 {
+		t.Errorf("Depth = %d", tr.Depth(n))
+	}
+	if tr.FirstEdge(n) != e(8) || tr.LastEdge(n) != e(3) {
+		t.Errorf("First/Last = %d/%d", tr.FirstEdge(n), tr.LastEdge(n))
+	}
+	if tr.Parent(Root) != NoNode || tr.Depth(Root) != 0 {
+		t.Error("root accessors wrong")
+	}
+	if tr.Theta() != 3 || tr.NumEdges() != 10 {
+		t.Error("config accessors wrong")
+	}
+	if tr.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+	fr := tr.Frequencies()
+	if len(fr) != tr.NumNodes() || fr[n] != 1 {
+		t.Error("Frequencies wrong")
+	}
+}
+
+// brute-force longest-suffix check of the Aho–Corasick fail links.
+func TestFailLinksAreLongestProperSuffix(t *testing.T) {
+	tr := paperTrie(t)
+	for n := NodeID(1); int(n) < tr.NumNodes(); n++ {
+		s := tr.NodeString(n)
+		f := tr.fail[n]
+		got := tr.NodeString(f)
+		// Longest proper suffix of s that is a trie node.
+		var want []roadnet.EdgeID
+		for k := 1; k < len(s); k++ {
+			if m := tr.Lookup(s[k:]); m != NoNode {
+				want = s[k:]
+				break
+			}
+		}
+		if !reflect.DeepEqual(append([]roadnet.EdgeID{}, got...), append([]roadnet.EdgeID{}, want...)) &&
+			!(len(got) == 0 && len(want) == 0) {
+			t.Errorf("fail(%v) = %v want %v", s, got, want)
+		}
+	}
+}
+
+// Decompose must produce pieces that (a) exactly tile the input and (b) all
+// exist in the trie, for arbitrary corpora and inputs.
+func TestDecomposeRecomposeProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numEdges := rng.Intn(20) + 2
+		theta := rng.Intn(5) + 1
+		b, err := NewBuilder(numEdges, theta)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			p := make([]roadnet.EdgeID, rng.Intn(15)+1)
+			for j := range p {
+				p[j] = roadnet.EdgeID(rng.Intn(numEdges))
+			}
+			if err := b.AddTrajectory(p); err != nil {
+				return false
+			}
+		}
+		tr := b.Finish()
+		input := make([]roadnet.EdgeID, rng.Intn(40))
+		for j := range input {
+			input[j] = roadnet.EdgeID(rng.Intn(numEdges))
+		}
+		nodes, err := tr.Decompose(input)
+		if err != nil {
+			return false
+		}
+		if len(input) == 0 {
+			return len(nodes) == 0
+		}
+		got := tr.Recompose(nodes)
+		if !reflect.DeepEqual(got, input) {
+			return false
+		}
+		for _, n := range nodes {
+			if n == Root || n == NoNode || tr.Depth(n) > theta {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// The stack-based backward pass must pick the longest match at every
+// uncovered position (greedy-from-the-right), matching a direct
+// reimplementation.
+func TestDecomposeIsGreedyFromRight(t *testing.T) {
+	tr := paperTrie(t)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		input := make([]roadnet.EdgeID, rng.Intn(30)+1)
+		for j := range input {
+			input[j] = roadnet.EdgeID(rng.Intn(10))
+		}
+		nodes, err := tr.Decompose(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: from the right, take the longest suffix of the
+		// remaining prefix that is a trie node.
+		var wantLens []int
+		i := len(input)
+		for i > 0 {
+			best := 1
+			for l := 2; l <= tr.Theta() && l <= i; l++ {
+				if tr.Lookup(input[i-l:i]) != NoNode {
+					best = l
+				}
+			}
+			wantLens = append(wantLens, best)
+			i -= best
+		}
+		// wantLens is right-to-left; compare reversed.
+		if len(wantLens) != len(nodes) {
+			t.Fatalf("trial %d: %d pieces want %d (input %v)", trial, len(nodes), len(wantLens), input)
+		}
+		for k, n := range nodes {
+			if tr.Depth(n) != wantLens[len(wantLens)-1-k] {
+				t.Fatalf("trial %d: piece %d len %d want %d", trial, k, tr.Depth(n), wantLens[len(wantLens)-1-k])
+			}
+		}
+	}
+}
+
+func TestDecomposeOutOfRange(t *testing.T) {
+	tr := paperTrie(t)
+	if _, err := tr.Decompose([]roadnet.EdgeID{55}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := paperTrie(t)
+	b := paperTrie(t)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatal("node counts differ")
+	}
+	for n := NodeID(0); int(n) < a.NumNodes(); n++ {
+		if !reflect.DeepEqual(a.NodeString(n), b.NodeString(n)) || a.Freq(n) != b.Freq(n) {
+			t.Fatalf("node %d differs between identical builds", n)
+		}
+		if a.fail[n] != b.fail[n] {
+			t.Fatalf("fail link %d differs", n)
+		}
+	}
+}
+
+// Frequency bookkeeping invariant: the total frequency of level-1 nodes
+// equals the number of extracted sub-trajectories, which is the total
+// number of edge positions in the corpus (one sub-trajectory starts at
+// every position).
+func TestFrequencyConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		numEdges := rng.Intn(15) + 2
+		b, err := NewBuilder(numEdges, rng.Intn(4)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		positions := 0
+		for i := 0; i < rng.Intn(8); i++ {
+			p := make([]roadnet.EdgeID, rng.Intn(20)+1)
+			for j := range p {
+				p[j] = roadnet.EdgeID(rng.Intn(numEdges))
+			}
+			positions += len(p)
+			if err := b.AddTrajectory(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr := b.Finish()
+		var level1 uint64
+		for e := 0; e < numEdges; e++ {
+			level1 += tr.Freq(tr.Child(Root, roadnet.EdgeID(e)))
+		}
+		if level1 != uint64(positions) {
+			t.Fatalf("level-1 frequency sum %d != corpus positions %d", level1, positions)
+		}
+		// A child's frequency never exceeds its parent's.
+		for n := NodeID(1); int(n) < tr.NumNodes(); n++ {
+			if p := tr.Parent(n); p != Root && tr.Freq(n) > tr.Freq(p) {
+				t.Fatalf("child %d freq %d > parent freq %d", n, tr.Freq(n), tr.Freq(p))
+			}
+		}
+	}
+}

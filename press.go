@@ -1,0 +1,299 @@
+// Package press is a from-scratch Go implementation of PRESS (Paralleled
+// Road-Network-Based Trajectory Compression), the trajectory compression
+// framework of Song, Sun, Zheng & Zheng (VLDB 2014).
+//
+// PRESS represents a road-network trajectory as a spatial path (edge
+// sequence) plus a temporal sequence ((distance, time) tuples) and
+// compresses the two independently:
+//
+//   - Hybrid Spatial Compression (HSC) is lossless: shortest-path runs
+//     collapse to their endpoints, and the remainder is coded against a
+//     Huffman-coded trie of frequent sub-trajectories mined from a training
+//     corpus;
+//   - Bounded Temporal Compression (BTC) is lossy with hard guarantees: the
+//     Time Synchronized Network Distance (TSND) and Network Synchronized
+//     Time Difference (NSTD) between the original and compressed temporal
+//     sequences never exceed the configured bounds.
+//
+// Compressed trajectories answer whereat, whenat, range, passing-nearby and
+// minimal-distance queries without full decompression.
+//
+// The System type bundles the full pipeline — map matcher, re-formatter,
+// compressor and query processor — behind one handle:
+//
+//	g, _ := press.GenerateCity(press.DefaultCityOptions())
+//	sys, _ := press.NewSystem(g, trainingPaths, press.DefaultConfig())
+//	ct, _ := sys.CompressGPS(rawGPS)        // match + reformat + compress
+//	pos, _ := sys.WhereAt(ct, someTime)     // query without decompressing
+//	tr, _ := sys.Decompress(ct)             // exact spatial recovery
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured reproduction of every figure.
+package press
+
+import (
+	"errors"
+	"fmt"
+
+	"press/internal/core"
+	"press/internal/gen"
+	"press/internal/geo"
+	"press/internal/mapmatch"
+	"press/internal/query"
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/store"
+	"press/internal/traj"
+)
+
+// Re-exported core types. External callers use these names; the underlying
+// implementations live in internal packages.
+type (
+	// Point is a planar location in meters.
+	Point = geo.Point
+	// MBR is an axis-aligned bounding rectangle.
+	MBR = geo.MBR
+	// Graph is a directed road network.
+	Graph = roadnet.Graph
+	// Vertex is a road intersection.
+	Vertex = roadnet.Vertex
+	// Edge is a directed road segment.
+	Edge = roadnet.Edge
+	// VertexID identifies an intersection.
+	VertexID = roadnet.VertexID
+	// EdgeID identifies a road segment.
+	EdgeID = roadnet.EdgeID
+	// RawPoint is one GPS sample.
+	RawPoint = traj.RawPoint
+	// RawTrajectory is a sequence of GPS samples.
+	RawTrajectory = traj.Raw
+	// Path is a spatial path: consecutive edge ids.
+	Path = traj.Path
+	// TemporalEntry is one (distance, time) tuple.
+	TemporalEntry = traj.Entry
+	// Temporal is a trajectory's temporal sequence.
+	Temporal = traj.Temporal
+	// Trajectory is the PRESS representation: Path + Temporal.
+	Trajectory = traj.Trajectory
+	// Compressed is a PRESS-compressed trajectory.
+	Compressed = core.Compressed
+	// CityOptions configures the synthetic city generator.
+	CityOptions = gen.CityOptions
+	// TripOptions configures synthetic trip routing.
+	TripOptions = gen.TripOptions
+	// GPSOptions configures the GPS sampler.
+	GPSOptions = gen.GPSOptions
+	// DatasetOptions aggregates the generator knobs.
+	DatasetOptions = gen.Options
+	// Dataset is a generated workload.
+	Dataset = gen.Dataset
+	// MatcherOptions tunes the HMM map matcher.
+	MatcherOptions = mapmatch.Options
+)
+
+// NewMBR constructs a bounding rectangle from two corner points.
+func NewMBR(a, b Point) MBR { return geo.NewMBR(a, b) }
+
+// Config configures a System.
+type Config struct {
+	// Theta is the maximum mined sub-trajectory length (the paper's θ;
+	// 3 was optimal on the paper's dataset and is the default).
+	Theta int
+	// TSND is the maximal tolerated Time Synchronized Network Distance in
+	// meters (0 = strictest temporal compression).
+	TSND float64
+	// NSTD is the maximal tolerated Network Synchronized Time Difference in
+	// seconds.
+	NSTD float64
+	// Matcher tunes the HMM map matcher.
+	Matcher MatcherOptions
+	// PrecomputeShortestPaths materializes the full all-pair table up front
+	// (the paper's preprocessing); when false, rows are computed lazily.
+	PrecomputeShortestPaths bool
+}
+
+// DefaultConfig returns the paper's defaults: θ = 3, zero-error temporal
+// bounds, and the matcher tuned for ~10 m GPS noise.
+func DefaultConfig() Config {
+	return Config{Theta: 3, Matcher: mapmatch.DefaultOptions()}
+}
+
+// System is the assembled PRESS pipeline over one road network.
+type System struct {
+	graph      *roadnet.Graph
+	sp         *spindex.Table
+	cb         *core.Codebook
+	compressor *core.Compressor
+	engine     *query.Engine
+	matcher    *mapmatch.Matcher
+	cfg        Config
+}
+
+// NewSystem trains the FST codebook on the given training paths (full edge
+// paths; they are SP-compressed internally, as the paper's pipeline does)
+// and assembles the compressor, query engine and map matcher.
+func NewSystem(g *Graph, training []Path, cfg Config) (*System, error) {
+	if g == nil {
+		return nil, errors.New("press: nil graph")
+	}
+	if cfg.Theta <= 0 {
+		cfg.Theta = 3
+	}
+	if cfg.Matcher.CandidateRadius == 0 {
+		cfg.Matcher = mapmatch.DefaultOptions()
+	}
+	sp := spindex.NewTable(g)
+	if cfg.PrecomputeShortestPaths {
+		sp.PrecomputeAll()
+	}
+	corpus := make([]Path, 0, len(training))
+	for _, p := range training {
+		corpus = append(corpus, core.SPCompress(sp, p))
+	}
+	cb, err := core.Train(corpus, core.TrainOptions{NumEdges: g.NumEdges(), Theta: cfg.Theta})
+	if err != nil {
+		return nil, fmt.Errorf("press: training: %w", err)
+	}
+	compressor, err := core.NewCompressor(g, sp, cb, cfg.TSND, cfg.NSTD)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := query.NewEngine(g, sp, cb)
+	if err != nil {
+		return nil, err
+	}
+	matcher, err := mapmatch.New(g, sp, cfg.Matcher)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		graph: g, sp: sp, cb: cb,
+		compressor: compressor, engine: engine, matcher: matcher, cfg: cfg,
+	}, nil
+}
+
+// Graph returns the road network the system operates on.
+func (s *System) Graph() *Graph { return s.graph }
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// MatchGPS map-matches a raw GPS trajectory onto the network and re-formats
+// it into the PRESS representation.
+func (s *System) MatchGPS(raw RawTrajectory) (*Trajectory, error) {
+	return s.matcher.MatchAndReformat(raw)
+}
+
+// Compress compresses a re-formatted trajectory: the spatial path lossless,
+// the temporal sequence within the configured TSND/NSTD bounds.
+func (s *System) Compress(tr *Trajectory) (*Compressed, error) {
+	return s.compressor.Compress(tr)
+}
+
+// CompressGPS is the full pipeline: map matching, re-formatting and
+// compression of a raw GPS trajectory.
+func (s *System) CompressGPS(raw RawTrajectory) (*Compressed, error) {
+	tr, err := s.MatchGPS(raw)
+	if err != nil {
+		return nil, err
+	}
+	return s.Compress(tr)
+}
+
+// CompressAll compresses a batch in parallel (the "Paralleled" in PRESS).
+func (s *System) CompressAll(trs []*Trajectory) ([]*Compressed, error) {
+	return s.compressor.CompressAll(trs)
+}
+
+// Decompress recovers a trajectory: the spatial path is exactly the
+// original, the temporal sequence is the (already usable) BTC output.
+func (s *System) Decompress(ct *Compressed) (*Trajectory, error) {
+	return s.compressor.Decompress(ct)
+}
+
+// WhereAt returns the location along the compressed trajectory at time t;
+// the deviation from the true position is bounded by the configured TSND.
+func (s *System) WhereAt(ct *Compressed, t float64) (Point, error) {
+	return s.engine.WhereAt(ct, t)
+}
+
+// WhenAt returns the time the compressed trajectory passes location p; the
+// deviation is bounded by the configured NSTD.
+func (s *System) WhenAt(ct *Compressed, p Point) (float64, error) {
+	return s.engine.WhenAt(ct, p)
+}
+
+// Range reports whether the compressed trajectory passes through region r
+// during [t1, t2].
+func (s *System) Range(ct *Compressed, t1, t2 float64, r MBR) (bool, error) {
+	return s.engine.Range(ct, t1, t2, r)
+}
+
+// PassesNear reports whether the compressed trajectory comes within dist
+// meters of p during [t1, t2].
+func (s *System) PassesNear(ct *Compressed, p Point, dist, t1, t2 float64) (bool, error) {
+	return s.engine.PassesNear(ct, p, dist, t1, t2)
+}
+
+// MinDistance returns the minimal planar distance between the spatial paths
+// of two compressed trajectories.
+func (s *System) MinDistance(a, b *Compressed) (float64, error) {
+	return s.engine.MinDistance(a, b)
+}
+
+// Marshal serializes a compressed trajectory.
+func Marshal(ct *Compressed) []byte { return ct.Marshal() }
+
+// Unmarshal parses a compressed trajectory serialized by Marshal.
+func Unmarshal(b []byte) (*Compressed, error) { return core.UnmarshalCompressed(b) }
+
+// TSND computes the exact Time Synchronized Network Distance between two
+// temporal sequences (Definition 1).
+func TSND(orig, comp Temporal) float64 { return core.TSND(orig, comp) }
+
+// NSTD computes the exact Network Synchronized Time Difference between two
+// temporal sequences (Definition 2).
+func NSTD(orig, comp Temporal) float64 { return core.NSTD(orig, comp) }
+
+// Reformat projects raw GPS samples onto a known spatial path, producing
+// the PRESS representation without map matching (useful when the true path
+// is known, e.g. from a routing engine).
+func Reformat(g *Graph, path Path, raw RawTrajectory) (*Trajectory, error) {
+	return traj.Reformat(g, path, raw)
+}
+
+// GenerateCity builds a synthetic city road network.
+func GenerateCity(opt CityOptions) (*Graph, error) { return gen.City(opt) }
+
+// DefaultCityOptions returns the standard synthetic city configuration.
+func DefaultCityOptions() CityOptions { return gen.DefaultCity() }
+
+// GenerateDataset builds a full synthetic fleet workload (network, routed
+// trips, noisy GPS, ground truth).
+func GenerateDataset(opt DatasetOptions) (*Dataset, error) { return gen.Generate(opt) }
+
+// DefaultDatasetOptions returns the standard workload with n trips.
+func DefaultDatasetOptions(n int) DatasetOptions { return gen.Default(n) }
+
+// FleetStore is a persistent append-only container of compressed
+// trajectories (see internal/store for the on-disk format).
+type FleetStore = store.Store
+
+// CreateFleetStore makes a new empty fleet container file.
+func CreateFleetStore(path string) (*FleetStore, error) { return store.Create(path) }
+
+// OpenFleetStore opens an existing fleet container, recovering from a
+// truncated tail record if the last append crashed.
+func OpenFleetStore(path string) (*FleetStore, error) { return store.Open(path) }
+
+// FleetIndex is an STR-packed R-tree over a compressed fleet enabling
+// fleet-level queries (which trajectories crossed a region in a window)
+// without decompression — the indexing direction §6.3 of the paper sketches
+// as future work.
+type FleetIndex = query.FleetIndex
+
+// NewFleetIndex bulk-loads an R-tree over compressed trajectories using
+// this system's auxiliary structures.
+func (s *System) NewFleetIndex(cts []*Compressed) (*FleetIndex, error) {
+	return query.NewFleetIndex(s.engine, cts)
+}

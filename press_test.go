@@ -1,0 +1,234 @@
+package press
+
+import (
+	"math"
+	"testing"
+)
+
+// buildSystem generates a small dataset and a System trained on half of it.
+func buildSystem(t *testing.T, cfg Config) (*System, *Dataset) {
+	t.Helper()
+	opt := DefaultDatasetOptions(24)
+	opt.City.Rows, opt.City.Cols = 7, 7
+	ds, err := GenerateDataset(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(ds.Graph, ds.Trips[:12], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ds
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, nil, DefaultConfig()); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys, _ := buildSystem(t, Config{})
+	if sys.Config().Theta != 3 {
+		t.Errorf("default theta = %d", sys.Config().Theta)
+	}
+	if sys.Graph() == nil {
+		t.Error("Graph() nil")
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSND, cfg.NSTD = 50, 30
+	sys, ds := buildSystem(t, cfg)
+	for i := range ds.Truth[:8] {
+		// Full pipeline from raw GPS.
+		ct, err := sys.CompressGPS(ds.Raws[i])
+		if err != nil {
+			t.Fatalf("traj %d: CompressGPS: %v", i, err)
+		}
+		back, err := sys.Decompress(ct)
+		if err != nil {
+			t.Fatalf("traj %d: Decompress: %v", i, err)
+		}
+		if len(back.Path) == 0 || len(back.Temporal) == 0 {
+			t.Fatalf("traj %d: empty decompression", i)
+		}
+		// Serialization roundtrip.
+		ct2, err := Unmarshal(Marshal(ct))
+		if err != nil {
+			t.Fatalf("traj %d: Unmarshal: %v", i, err)
+		}
+		back2, err := sys.Decompress(ct2)
+		if err != nil || !back2.Path.Equal(back.Path) {
+			t.Fatalf("traj %d: serialized form decompresses differently", i)
+		}
+	}
+}
+
+func TestCompressKnownPathBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSND, cfg.NSTD = 80, 40
+	sys, ds := buildSystem(t, cfg)
+	for i, tr := range ds.Truth[:10] {
+		ct, err := sys.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := sys.Decompress(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Path.Equal(tr.Path) {
+			t.Fatalf("traj %d: spatial not lossless", i)
+		}
+		if got := TSND(tr.Temporal, back.Temporal); got > 80+1e-6 {
+			t.Fatalf("traj %d: TSND %v", i, got)
+		}
+		if got := NSTD(tr.Temporal, back.Temporal); got > 40+1e-6 {
+			t.Fatalf("traj %d: NSTD %v", i, got)
+		}
+	}
+}
+
+func TestQueriesThroughFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	tr := ds.Truth[0]
+	ct, err := sys.Compress(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tr.Temporal[0].T + tr.Temporal.Duration()/2
+	pos, err := sys.WhereAt(ct, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.PositionAt(ds.Graph, mid)
+	if pos.Dist(want) > 1e-6 {
+		t.Errorf("WhereAt = %v want %v", pos, want)
+	}
+	when, err := sys.WhenAt(ct, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trajectory may pass pos more than once; the reported time must at
+	// least put the object at that location.
+	posBack, err := sys.WhereAt(ct, when)
+	if err != nil || posBack.Dist(pos) > 1 {
+		t.Errorf("WhenAt inconsistent: t=%v -> %v (err %v)", when, posBack, err)
+	}
+	box := NewMBR(Point{X: pos.X - 50, Y: pos.Y - 50}, Point{X: pos.X + 50, Y: pos.Y + 50})
+	hit, err := sys.Range(ct, tr.Temporal[0].T, tr.Temporal[len(tr.Temporal)-1].T, box)
+	if err != nil || !hit {
+		t.Errorf("Range should hit a box around an on-path point (err %v)", err)
+	}
+	near, err := sys.PassesNear(ct, pos, 10, tr.Temporal[0].T, tr.Temporal[len(tr.Temporal)-1].T)
+	if err != nil || !near {
+		t.Errorf("PassesNear should hit (err %v)", err)
+	}
+	d, err := sys.MinDistance(ct, ct)
+	if err != nil || d != 0 {
+		t.Errorf("MinDistance(self) = %v (err %v)", d, err)
+	}
+}
+
+func TestCompressAllFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	cts, err := sys.CompressAll(ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) != len(ds.Truth) {
+		t.Fatalf("got %d compressed", len(cts))
+	}
+	var raw, comp int
+	for i, ct := range cts {
+		raw += ds.Raws[i].SizeBytes()
+		comp += ct.SizeBytes()
+	}
+	if comp >= raw {
+		t.Errorf("no net compression: %d -> %d", raw, comp)
+	}
+	t.Logf("fleet compression ratio %.2f", float64(raw)/float64(comp))
+}
+
+func TestPrecomputeOption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrecomputeShortestPaths = true
+	sys, ds := buildSystem(t, cfg)
+	ct, err := sys.Compress(ds.Truth[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.SizeBytes() <= 0 {
+		t.Error("empty compression")
+	}
+}
+
+func TestReformatFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	tr, err := Reformat(sys.Graph(), ds.Trips[0], ds.Raws[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Temporal[0].D) > 30 {
+		t.Errorf("start distance %v suspicious", tr.Temporal[0].D)
+	}
+}
+
+func TestFleetStoreThroughFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	path := t.TempDir() + "/fleet.prss"
+	st, err := CreateFleetStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ds.Truth[:6] {
+		ct, err := sys.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Append(ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenFleetStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 6 {
+		t.Fatalf("Len = %d", st2.Len())
+	}
+	ct, err := st2.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sys.Decompress(ct)
+	if err != nil || !back.Path.Equal(ds.Truth[3].Path) {
+		t.Fatalf("stored trajectory did not round-trip (%v)", err)
+	}
+}
+
+func TestFleetIndexFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	cts, err := sys.CompressAll(ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := sys.NewFleetIndex(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole-network box over all time must return every trajectory.
+	all, err := fi.RangeQuery(0, 1e9, ds.Graph.MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(cts) {
+		t.Errorf("whole-net query returned %d of %d", len(all), len(cts))
+	}
+}
