@@ -1,0 +1,24 @@
+# Tier-1 gate plus the checks CI runs. `make ci` is what must stay green.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run NONE .
+
+ci: build vet race

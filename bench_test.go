@@ -6,6 +6,7 @@
 package press
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -14,8 +15,11 @@ import (
 	"press/internal/experiments"
 	"press/internal/gen"
 	"press/internal/geo"
+	"press/internal/mapmatch"
+	"press/internal/pipeline"
 	"press/internal/query"
 	"press/internal/roadnet"
+	"press/internal/spindex"
 	"press/internal/traj"
 )
 
@@ -307,6 +311,93 @@ func BenchmarkFig17Range(b *testing.B) {
 			_ = query.RangeRaw(env.DS.Graph, env.DS.Truth[k], 0, 600, box)
 		}
 	})
+}
+
+// BenchmarkCompressAllParallel sweeps the batch-compression worker pool —
+// the "Paralleled" axis of PRESS. The traj/s metric is the fleet throughput;
+// on multi-core hardware 4 workers should run at >=2x the serial rate (the
+// per-item work is pure CPU and the shortest-path table is shared read-mostly
+// state). workers=1 is the serial reference path: it runs inline, without
+// goroutines or pool overhead.
+func BenchmarkCompressAllParallel(b *testing.B) {
+	env, _ := benchSetup(b)
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the shortest-path rows so every variant measures compression, not
+	// first-touch Dijkstra cost.
+	if _, errs := comp.CompressBatch(env.DS.Truth, 0); errs[0] != nil {
+		b.Fatal(errs[0])
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, errs := comp.CompressBatch(env.DS.Truth, workers)
+				for j, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out[j] == nil {
+						b.Fatal("nil output")
+					}
+				}
+			}
+			b.ReportMetric(
+				float64(b.N)*float64(len(env.DS.Truth))/b.Elapsed().Seconds(), "traj/s")
+		})
+	}
+}
+
+// BenchmarkPrecomputeAllParallel measures the sharded all-pair preprocessing
+// (one line-graph Dijkstra per source edge, batched writes) that amortizes
+// the paper's §3.1 assumption off the compression hot path.
+func BenchmarkPrecomputeAllParallel(b *testing.B) {
+	env, _ := benchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := spindex.NewTable(env.DS.Graph)
+				tab.PrecomputeAllParallel(workers)
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineIngest measures the full streaming pipeline (match ->
+// reformat -> compress with bounded buffers) over the raw GPS fleet.
+func BenchmarkPipelineIngest(b *testing.B) {
+	env, _ := benchSetup(b)
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapmatch.New(env.DS.Graph, env.Tab, mapmatch.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the lazily-materialized shortest-path rows so the first variant
+	// does not absorb the one-off Dijkstra cost for all the others.
+	if _, err := pipeline.Run(m, comp, env.DS.Raws, pipeline.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := pipeline.Run(m, comp, env.DS.Raws, pipeline.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			b.ReportMetric(
+				float64(b.N)*float64(len(env.DS.Raws))/b.Elapsed().Seconds(), "traj/s")
+		})
+	}
 }
 
 // BenchmarkTable1PaperExample runs the worked FST example of Table 1 —

@@ -8,33 +8,52 @@
 //	pressbench -trips 500       # larger fleet (slower, smoother curves)
 //
 // Figure ids: fig10a fig10b fig11a fig11b fig12a fig12b fig13 fig14 fig15
-// fig16 fig17 aux, plus the extensions: ablation (per-stage contribution)
-// and qscale (query time vs trajectory length).
+// fig16 fig17 aux, plus the extensions: ablation (per-stage contribution),
+// qscale (query time vs trajectory length) and pipeline (streaming ingest
+// throughput vs worker count; -workers sets the top of the sweep).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"press/internal/experiments"
+	"press/internal/mapmatch"
+	"press/internal/pipeline"
 	"press/internal/query"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure id to run (or 'all')")
-		trips = flag.Int("trips", 150, "fleet size")
+		fig     = flag.String("fig", "all", "figure id to run (or 'all')")
+		trips   = flag.Int("trips", 150, "fleet size")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"worker pool size for the parallel stages (SP precompute, pipeline scenario)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *fig != "all" && !knownFig(*fig) {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating %d-trip workload...\n", *trips)
 	env, err := experiments.NewEnv(*trips)
 	if err != nil {
 		fatal(err)
+	}
+	// Materialize the shortest-path rows up front over the worker pool (the
+	// paper's preprocessing), so every figure measures warm-path behavior.
+	// qscale builds its own environments and never reads this table, so a
+	// qscale-only run skips the O(|E|^2) cost.
+	if *fig == "all" || !strings.EqualFold(*fig, "qscale") {
+		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
 	if err != nil {
@@ -116,6 +135,9 @@ func main() {
 			f, err := experiments.RunQueryScaling(nil, 0)
 			return show(f, err)
 		}},
+		{"pipeline", func() error {
+			return runPipelineScenario(env, *workers)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -132,6 +154,70 @@ func main() {
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
+}
+
+// figIDs mirrors the runner table in main; keep the two in sync (the
+// ran == 0 check in main backstops a divergence).
+var figIDs = []string{
+	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
+	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
+}
+
+// knownFig reports whether id names a runner, so bad ids fail before the
+// workload is generated and the shortest-path table precomputed.
+func knownFig(id string) bool {
+	for _, known := range figIDs {
+		if strings.EqualFold(id, known) {
+			return true
+		}
+	}
+	return false
+}
+
+// runPipelineScenario sweeps the streaming ingest pipeline (match ->
+// reformat -> compress, bounded buffers) from 1 worker up to the configured
+// pool size, reporting fleet throughput and the speedup over serial.
+func runPipelineScenario(env *experiments.Env, maxWorkers int) error {
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		return err
+	}
+	m, err := mapmatch.New(env.DS.Graph, env.Tab, mapmatch.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	var sweep []int
+	for w := 1; w < maxWorkers; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if len(sweep) == 0 || sweep[len(sweep)-1] != maxWorkers {
+		sweep = append(sweep, maxWorkers)
+	}
+	fmt.Println("pipeline: streaming ingest throughput (match+reformat+compress)")
+	fmt.Printf("%10s %12s %12s %10s %8s\n", "workers", "traj/s", "elapsed", "failed", "speedup")
+	var serial float64
+	for _, w := range sweep {
+		t0 := time.Now()
+		results, err := pipeline.Run(m, comp, env.DS.Raws, pipeline.Options{Workers: w})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		failed := 0
+		for _, res := range results {
+			if res.Err != nil {
+				failed++
+			}
+		}
+		rate := float64(len(results)) / elapsed.Seconds()
+		if w == sweep[0] {
+			serial = rate
+		}
+		fmt.Printf("%10d %12.0f %12v %10d %7.2fx\n",
+			w, rate, elapsed.Round(time.Millisecond), failed, rate/serial)
+	}
+	fmt.Println()
+	return nil
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"press/internal/roadnet"
 	"press/internal/spindex"
@@ -76,53 +77,71 @@ func (c *Compressor) Decompress(ct *Compressed) (*traj.Trajectory, error) {
 }
 
 // CompressAll compresses a batch over a worker pool — the "Paralleled" in
-// PRESS. Order is preserved. The first error aborts the batch.
+// PRESS. Order is preserved. The first error aborts the batch (remaining
+// items are skipped); use CompressBatch when every item should be attempted.
 func (c *Compressor) CompressAll(ts []*traj.Trajectory) ([]*Compressed, error) {
+	out, errs := c.compressBatch(ts, 0, true)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: trajectory %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// CompressBatch compresses a batch over a pool of the given number of
+// workers (0 or negative means GOMAXPROCS). Unlike CompressAll it never
+// fails fast: every item is attempted, out[i] and errs[i] report item i's
+// outcome individually (exactly one of the two is non-nil per index). Output
+// ordering is deterministic: out[i] always corresponds to ts[i] and is
+// byte-identical to what the serial path produces, regardless of worker
+// count or scheduling.
+func (c *Compressor) CompressBatch(ts []*traj.Trajectory, workers int) ([]*Compressed, []error) {
+	return c.compressBatch(ts, workers, false)
+}
+
+func (c *Compressor) compressBatch(ts []*traj.Trajectory, workers int, failFast bool) ([]*Compressed, []error) {
 	out := make([]*Compressed, len(ts))
-	workers := runtime.GOMAXPROCS(0)
+	errs := make([]error, len(ts))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(ts) {
 		workers = len(ts)
 	}
-	if workers < 1 {
-		workers = 1
+	var stop atomic.Bool
+	if workers <= 1 {
+		for i, t := range ts {
+			out[i], errs[i] = c.Compress(t)
+			if errs[i] != nil && failFast {
+				break
+			}
+		}
+		return out, errs
 	}
 	var (
 		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		fail error
+		next int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				if fail != nil || next >= len(ts) {
-					mu.Unlock()
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(ts) || stop.Load() {
 					return
 				}
-				i := next
-				next++
-				mu.Unlock()
-				ct, err := c.Compress(ts[i])
-				if err != nil {
-					mu.Lock()
-					if fail == nil {
-						fail = fmt.Errorf("core: trajectory %d: %w", i, err)
-					}
-					mu.Unlock()
+				out[i], errs[i] = c.Compress(ts[i])
+				if errs[i] != nil && failFast {
+					stop.Store(true)
 					return
 				}
-				out[i] = ct
 			}
 		}()
 	}
 	wg.Wait()
-	if fail != nil {
-		return nil, fail
-	}
-	return out, nil
+	return out, errs
 }
 
 // Marshal serializes a compressed trajectory to the binary layout counted by

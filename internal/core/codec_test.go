@@ -159,6 +159,66 @@ func TestCompressAllMatchesSequential(t *testing.T) {
 	}
 }
 
+// CompressBatch output must be byte-identical to the serial path for every
+// worker count — deterministic ordering is part of the API contract.
+func TestCompressBatchByteIdentical(t *testing.T) {
+	c, gen, rng := testCompressor(t, 40, 40)
+	var batch []*traj.Trajectory
+	for i := 0; i < 30; i++ {
+		batch = append(batch, synthTrajectory(c, gen(rng.Intn(25)+2), rng))
+	}
+	serial := make([][]byte, len(batch))
+	for i, tr := range batch {
+		ct, err := c.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = ct.Marshal()
+	}
+	for _, workers := range []int{1, 2, 4, 8, 64} {
+		out, errs := c.CompressBatch(batch, workers)
+		for i := range batch {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, errs[i])
+			}
+			if !reflect.DeepEqual(out[i].Marshal(), serial[i]) {
+				t.Fatalf("workers=%d item %d: bytes differ from serial", workers, i)
+			}
+		}
+	}
+}
+
+// A failing item must not abort the batch: every other item still compresses
+// and the failure is reported at its own index.
+func TestCompressBatchPartialFailure(t *testing.T) {
+	c, gen, rng := testCompressor(t, 40, 40)
+	var batch []*traj.Trajectory
+	for i := 0; i < 12; i++ {
+		batch = append(batch, synthTrajectory(c, gen(rng.Intn(20)+2), rng))
+	}
+	// Edge id far out of range makes the FST encoder reject item 5.
+	batch[5] = &traj.Trajectory{
+		Path:     traj.Path{1 << 20},
+		Temporal: traj.Temporal{{D: 0, T: 0}, {D: 1, T: 1}},
+	}
+	out, errs := c.CompressBatch(batch, 4)
+	for i := range batch {
+		if i == 5 {
+			if errs[i] == nil || out[i] != nil {
+				t.Fatalf("item 5 should have failed, got ct=%v err=%v", out[i], errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil || out[i] == nil {
+			t.Fatalf("item %d should have succeeded, got err=%v", i, errs[i])
+		}
+	}
+	// The fail-fast wrapper reports the same failure as a batch error.
+	if _, err := c.CompressAll(batch); err == nil {
+		t.Fatal("CompressAll should surface the item error")
+	}
+}
+
 func TestCompressAllEmpty(t *testing.T) {
 	c, _, _ := testCompressor(t, 0, 0)
 	out, err := c.CompressAll(nil)

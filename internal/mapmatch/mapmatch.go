@@ -39,6 +39,11 @@ func DefaultOptions() Options {
 }
 
 // Matcher matches raw GPS trajectories onto a road network.
+//
+// A Matcher is safe for concurrent use: every field is immutable after New
+// (the candidate grid is built once and only read), and the shared
+// shortest-path table synchronizes internally. Pipeline workers therefore
+// share one Matcher instead of cloning it.
 type Matcher struct {
 	g    *roadnet.Graph
 	sp   *spindex.Table

@@ -1,7 +1,9 @@
 package mapmatch
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"press/internal/gen"
@@ -240,5 +242,54 @@ func TestMatchEndpoints(t *testing.T) {
 		if last.DistToPoint(raw[len(raw)-1].Pos) > 120 {
 			t.Errorf("matched end %0.f m from last sample", last.DistToPoint(raw[len(raw)-1].Pos))
 		}
+	}
+}
+
+// The Matcher's documented concurrency contract: many goroutines share one
+// instance (and its lazily-populated shortest-path table) with no external
+// locking. Result determinism is checked against a serial reference; the
+// race detector checks the rest in CI.
+func TestMatchConcurrent(t *testing.T) {
+	g, _, m := testSetup(t)
+	rng := rand.New(rand.NewSource(9))
+	trips, err := gen.Trips(g, gen.DefaultTrips(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := make([]traj.Raw, len(trips))
+	want := make([]traj.Path, len(trips))
+	for i, trip := range trips {
+		raw, _, err := gen.Drive(g, trip, gen.DefaultGPS(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = raw
+		if want[i], err = m.Match(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8*len(raws))
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, raw := range raws {
+				got, err := m.Match(raw)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d traj %d: %v", w, i, err)
+					return
+				}
+				if !got.Equal(want[i]) {
+					errc <- fmt.Errorf("worker %d traj %d: nondeterministic match", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }

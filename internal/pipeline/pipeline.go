@@ -1,0 +1,263 @@
+// Package pipeline implements the streaming, paralleled ingest pipeline of
+// PRESS (Fig. 1): raw GPS trajectories flow through map matching,
+// re-formatting and HSC/BTC compression on a pool of workers, and come out
+// the other end in submission order, ready to store or query.
+//
+// The pipeline is built from bounded channels, so backpressure is intrinsic:
+// a slow consumer fills the output buffer, which stalls the reorder stage,
+// the workers and finally Submit — memory in flight is bounded by
+// Workers + 2*Buffer items no matter how fast the producer is.
+//
+// Failures are first-class and per-item: a trajectory that cannot be matched
+// or compressed yields a Result with Err set at its own sequence number, and
+// every other item is unaffected (no fail-fast).
+//
+//	p, _ := pipeline.New(matcher, compressor, pipeline.Options{Workers: 4})
+//	go func() {
+//		for _, raw := range raws {
+//			p.Submit(raw)
+//		}
+//		p.Close()
+//	}()
+//	for res := range p.Results() {
+//		// res.Seq is the submission index; order is deterministic.
+//	}
+package pipeline
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"press/internal/core"
+	"press/internal/mapmatch"
+	"press/internal/traj"
+)
+
+// Options tunes a Pipeline.
+type Options struct {
+	// Workers is the number of match+compress workers (0 = GOMAXPROCS).
+	Workers int
+	// Buffer is the capacity of the input and output channels (0 = 2*Workers).
+	// Smaller buffers mean tighter backpressure, larger ones smooth bursts.
+	Buffer int
+}
+
+// Result is the outcome for one submitted trajectory. Exactly one of
+// Compressed and Err is non-nil.
+type Result struct {
+	// Seq is the submission index (0-based); results arrive in Seq order.
+	Seq int
+	// Raw is the input as submitted.
+	Raw traj.Raw
+	// Traj is the matched and re-formatted trajectory (nil if matching failed).
+	Traj *traj.Trajectory
+	// Compressed is the PRESS-compressed output (nil on error).
+	Compressed *core.Compressed
+	// Err reports this item's failure; other items are unaffected.
+	Err error
+}
+
+type job struct {
+	seq int
+	raw traj.Raw
+}
+
+// Pipeline is a running streaming pipeline. Submit and Close must be called
+// from one producer goroutine; Results must be consumed concurrently or
+// Submit will eventually block (that is the backpressure working).
+type Pipeline struct {
+	matcher *mapmatch.Matcher
+	comp    *core.Compressor
+
+	in  chan job
+	out chan Result
+	// window caps how many items may be in flight between Submit and the
+	// out channel. Without it a single slow early item would let the
+	// reorder stage accumulate every later result unboundedly. Its slot is
+	// released when a result enters out (cap Buffer), so total live items
+	// are bounded by cap(window)+Buffer = Workers+2*Buffer, the bound the
+	// package doc promises.
+	window chan struct{}
+
+	mu     sync.Mutex
+	nextIn int
+	closed bool
+}
+
+// New starts the worker pool and reorder stage for a streaming pipeline.
+func New(m *mapmatch.Matcher, c *core.Compressor, opt Options) (*Pipeline, error) {
+	if m == nil || c == nil {
+		return nil, errors.New("pipeline: nil matcher or compressor")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	buffer := opt.Buffer
+	if buffer <= 0 {
+		buffer = 2 * workers
+	}
+	p := &Pipeline{
+		matcher: m,
+		comp:    c,
+		in:      make(chan job, buffer),
+		out:     make(chan Result, buffer),
+		window:  make(chan struct{}, workers+buffer),
+	}
+	unordered := make(chan Result, buffer)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range p.in {
+				unordered <- p.process(j)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(unordered)
+	}()
+	go p.reorder(unordered)
+	return p, nil
+}
+
+// process runs the full per-item pipeline: match -> reformat -> compress.
+// The matcher and compressor are safe for concurrent use (their shared
+// shortest-path table is internally synchronized), so workers share them.
+func (p *Pipeline) process(j job) Result {
+	res := Result{Seq: j.seq, Raw: j.raw}
+	tr, err := p.matcher.MatchAndReformat(j.raw)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Traj = tr
+	ct, err := p.comp.Compress(tr)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Compressed = ct
+	return res
+}
+
+// reorder re-establishes submission order: workers finish out of order, but
+// results are released strictly by Seq. It always keeps draining the
+// unordered channel (so the missing next result can never be starved), and
+// releases one window slot per result handed to the out channel; since
+// Submit acquires a slot first, at most cap(window) items exist between
+// Submit and out, which bounds the holding map.
+func (p *Pipeline) reorder(in <-chan Result) {
+	pending := make(map[int]Result)
+	next := 0
+	for r := range in {
+		pending[r.Seq] = r
+		for {
+			r2, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			p.out <- r2
+			<-p.window
+			next++
+		}
+	}
+	close(p.out)
+}
+
+// Submit feeds one raw trajectory into the pipeline and returns its sequence
+// number. It blocks when the pipeline is saturated (backpressure). Submit
+// panics if called after Close.
+func (p *Pipeline) Submit(raw traj.Raw) int {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("pipeline: Submit after Close")
+	}
+	seq := p.nextIn
+	p.nextIn++
+	p.mu.Unlock()
+	p.window <- struct{}{} // in-flight cap; released when the result is emitted
+	p.in <- job{seq: seq, raw: raw}
+	return seq
+}
+
+// Close signals that no more trajectories will be submitted. The Results
+// channel closes once every in-flight item has drained.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.in)
+}
+
+// Results returns the ordered output channel. It yields one Result per
+// Submit, in submission order, and closes after Close once all work drains.
+func (p *Pipeline) Results() <-chan Result {
+	return p.out
+}
+
+// Sink consumes compressed trajectories in submission order; store.Store
+// satisfies it.
+type Sink interface {
+	Append(ct *core.Compressed) (int, error)
+}
+
+// Run pushes a whole batch through a fresh pipeline and returns one Result
+// per input, in input order. Per-item failures are reported in the Results;
+// they never abort the batch.
+func Run(m *mapmatch.Matcher, c *core.Compressor, raws []traj.Raw, opt Options) ([]Result, error) {
+	p, err := New(m, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for _, raw := range raws {
+			p.Submit(raw)
+		}
+		p.Close()
+	}()
+	out := make([]Result, 0, len(raws))
+	for res := range p.Results() {
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunToStore is Run with a storage tail stage: every successfully compressed
+// trajectory is appended to the sink in submission order, and its Result
+// records the append error, if any, in Err. The returned ids slice maps each
+// input index to its record id in the sink, or -1 for failed items.
+func RunToStore(m *mapmatch.Matcher, c *core.Compressor, sink Sink, raws []traj.Raw, opt Options) ([]Result, []int, error) {
+	if sink == nil {
+		return nil, nil, errors.New("pipeline: nil sink")
+	}
+	results, err := Run(m, c, raws, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]int, len(results))
+	for i := range results {
+		ids[i] = -1
+		if results[i].Err != nil {
+			continue
+		}
+		id, err := sink.Append(results[i].Compressed)
+		if err != nil {
+			// Keep the Result invariant: exactly one of Compressed and Err
+			// is non-nil. An unstored item is a failed item.
+			results[i].Err = err
+			results[i].Compressed = nil
+			continue
+		}
+		ids[i] = id
+	}
+	return results, ids, nil
+}

@@ -1,0 +1,256 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"press/internal/core"
+	"press/internal/gen"
+	"press/internal/mapmatch"
+	"press/internal/spindex"
+	"press/internal/store"
+	"press/internal/traj"
+)
+
+// fixture assembles the pipeline components over a small synthetic city.
+func fixture(t *testing.T) (*mapmatch.Matcher, *core.Compressor, *gen.Dataset) {
+	t.Helper()
+	opt := gen.Default(24)
+	opt.City.Rows, opt.City.Cols = 7, 7
+	ds, err := gen.Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := spindex.NewTable(ds.Graph)
+	corpus := make([]traj.Path, 0, 12)
+	for _, p := range ds.Trips[:12] {
+		corpus = append(corpus, core.SPCompress(tab, p))
+	}
+	cb, err := core.Train(corpus, core.TrainOptions{NumEdges: ds.Graph.NumEdges(), Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.NewCompressor(ds.Graph, tab, cb, 50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapmatch.New(ds.Graph, tab, mapmatch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, comp, ds
+}
+
+func TestNewValidation(t *testing.T) {
+	m, comp, _ := fixture(t)
+	if _, err := New(nil, comp, Options{}); err == nil {
+		t.Error("nil matcher accepted")
+	}
+	if _, err := New(m, nil, Options{}); err == nil {
+		t.Error("nil compressor accepted")
+	}
+}
+
+// The parallel pipeline must emit results in submission order and each
+// compressed output must be byte-identical to the serial pipeline.
+func TestRunMatchesSerialByteIdentical(t *testing.T) {
+	m, comp, ds := fixture(t)
+	for _, workers := range []int{1, 2, 4, 8} {
+		results, err := Run(m, comp, ds.Raws, Options{Workers: workers, Buffer: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(ds.Raws) {
+			t.Fatalf("workers=%d: got %d results for %d inputs", workers, len(results), len(ds.Raws))
+		}
+		for i, res := range results {
+			if res.Seq != i {
+				t.Fatalf("workers=%d: result %d has Seq %d (order broken)", workers, i, res.Seq)
+			}
+			tr, err := m.MatchAndReformat(ds.Raws[i])
+			if err != nil {
+				if res.Err == nil {
+					t.Fatalf("workers=%d item %d: serial failed (%v) but pipeline succeeded", workers, i, err)
+				}
+				continue
+			}
+			want, err := comp.Compress(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, res.Err)
+			}
+			if !reflect.DeepEqual(res.Compressed.Marshal(), want.Marshal()) {
+				t.Fatalf("workers=%d item %d: bytes differ from serial", workers, i)
+			}
+		}
+	}
+}
+
+// A failing item reports its error at its own sequence number without
+// disturbing the rest of the stream.
+func TestPerItemFailure(t *testing.T) {
+	m, comp, ds := fixture(t)
+	raws := append([]traj.Raw{}, ds.Raws[:8]...)
+	raws[3] = traj.Raw{} // unmatchable: empty trajectory
+	results, err := Run(m, comp, raws, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if i == 3 {
+			if res.Err == nil || res.Compressed != nil {
+				t.Fatalf("item 3 should have failed, got %+v", res)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+	}
+}
+
+// Streaming use: a tiny buffer forces backpressure through every stage while
+// a deliberately lagging consumer drains; everything must still come out
+// complete and ordered.
+func TestStreamingBackpressure(t *testing.T) {
+	m, comp, ds := fixture(t)
+	p, err := New(m, comp, Options{Workers: 4, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for _, raw := range ds.Raws {
+			p.Submit(raw)
+		}
+		p.Close()
+	}()
+	next := 0
+	for res := range p.Results() {
+		if res.Seq != next {
+			t.Fatalf("out of order: got %d want %d", res.Seq, next)
+		}
+		next++
+		if next%4 == 0 {
+			// Lag the consumer: recompress one item inline so the input side
+			// races ahead and the bounded channels must absorb it.
+			if res.Err == nil {
+				_, _ = comp.Compress(res.Traj)
+			}
+		}
+	}
+	if next != len(ds.Raws) {
+		t.Fatalf("drained %d of %d", next, len(ds.Raws))
+	}
+}
+
+// The in-flight window must bound memory even when the consumer is absent:
+// an unconsumed pipeline lets only ~workers+2*buffer items through Submit,
+// instead of buffering the whole stream in the reorder stage.
+func TestSubmitBlocksWithoutConsumer(t *testing.T) {
+	m, comp, ds := fixture(t)
+	p, err := New(m, comp, Options{Workers: 2, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50
+	var submitted atomic.Int64
+	go func() {
+		for i := 0; i < total; i++ {
+			p.Submit(ds.Raws[i%len(ds.Raws)])
+			submitted.Add(1)
+		}
+		p.Close()
+	}()
+	// With nobody draining Results, the producer must stall at a small
+	// bounded count (window + the few slots recycled into the out buffer).
+	var last int64 = -1
+	for settle := 0; settle < 3; {
+		time.Sleep(100 * time.Millisecond)
+		if n := submitted.Load(); n == last {
+			settle++
+		} else {
+			last, settle = n, 0
+		}
+	}
+	if last >= total {
+		t.Fatalf("producer never blocked: %d submitted with no consumer", last)
+	}
+	if last > 12 {
+		t.Errorf("in-flight bound too loose: %d items submitted with no consumer", last)
+	}
+	// Draining releases the window; everything still arrives, in order.
+	next := 0
+	for res := range p.Results() {
+		if res.Seq != next {
+			t.Fatalf("out of order: got %d want %d", res.Seq, next)
+		}
+		next++
+	}
+	if next != total {
+		t.Fatalf("drained %d of %d", next, total)
+	}
+}
+
+func TestSubmitAfterClosePanics(t *testing.T) {
+	m, comp, ds := fixture(t)
+	p, err := New(m, comp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Close should panic")
+		}
+	}()
+	p.Submit(ds.Raws[0])
+}
+
+// RunToStore appends successful items in submission order and maps failed
+// items to id -1.
+func TestRunToStore(t *testing.T) {
+	m, comp, ds := fixture(t)
+	raws := append([]traj.Raw{}, ds.Raws[:10]...)
+	raws[6] = traj.Raw{} // injected failure
+	path := t.TempDir() + "/fleet.prss"
+	st, err := store.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	results, ids, err := RunToStore(m, comp, st, raws, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(raws) || len(ids) != len(raws) {
+		t.Fatalf("got %d results, %d ids", len(results), len(ids))
+	}
+	wantID := 0
+	for i := range raws {
+		if i == 6 {
+			if ids[i] != -1 || results[i].Err == nil {
+				t.Fatalf("failed item mapped to id %d", ids[i])
+			}
+			continue
+		}
+		if ids[i] != wantID {
+			t.Fatalf("item %d: id %d want %d", i, ids[i], wantID)
+		}
+		got, err := st.Get(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Marshal(), results[i].Compressed.Marshal()) {
+			t.Fatalf("item %d: stored bytes differ", i)
+		}
+		wantID++
+	}
+	if st.Len() != wantID {
+		t.Fatalf("store has %d records want %d", st.Len(), wantID)
+	}
+}

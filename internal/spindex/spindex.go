@@ -22,6 +22,7 @@ package spindex
 import (
 	"container/heap"
 	"math"
+	"runtime"
 	"sync"
 
 	"press/internal/roadnet"
@@ -192,12 +193,127 @@ func (t *Table) Reachable(src, dst roadnet.EdgeID) bool {
 	return !math.IsInf(t.Dist(src, dst), 1)
 }
 
-// PrecomputeAll materializes every row, realizing the paper's full all-pair
-// preprocessing. Memory is O(|E|^2); use only on moderate networks.
-func (t *Table) PrecomputeAll() {
-	for e := 0; e < t.g.NumEdges(); e++ {
-		t.row(roadnet.EdgeID(e))
+// precomputeBatch is the batched write path for bulk materialization: one
+// lock acquisition stores many rows, so worker pools do not serialize on
+// per-row lock churn. Rows already present are kept (computation is
+// deterministic, so they are identical anyway).
+func (t *Table) precomputeBatch(srcs []roadnet.EdgeID, preds [][]roadnet.EdgeID, dists [][]float64) {
+	t.mu.Lock()
+	for i, src := range srcs {
+		if _, ok := t.pred[src]; ok {
+			continue
+		}
+		t.pred[src] = preds[i]
+		t.dist[src] = dists[i]
 	}
+	t.mu.Unlock()
+}
+
+// precomputeBatchSize bounds how many rows a worker accumulates locally
+// before flushing them under one lock acquisition.
+const precomputeBatchSize = 32
+
+// PrecomputeAll materializes every row, realizing the paper's full all-pair
+// preprocessing. Memory is O(|E|^2); use only on moderate networks. The work
+// is sharded over GOMAXPROCS workers — each line-graph Dijkstra row is
+// independent, which is exactly the parallelism the paper's preprocessing
+// assumes.
+func (t *Table) PrecomputeAll() {
+	t.PrecomputeAllParallel(runtime.GOMAXPROCS(0))
+}
+
+// PrecomputeAllParallel materializes every row using the given number of
+// workers (<=1 means serial). Source edges are dealt to workers in
+// contiguous shards; each worker runs its Dijkstra rows without any lock
+// held and flushes results in batches through the batched write path.
+// The resulting table is byte-identical to serial materialization.
+func (t *Table) PrecomputeAllParallel(workers int) {
+	n := t.g.NumEdges()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		buf := newBatchBuf(t)
+		for e := 0; e < n; e++ {
+			buf.add(roadnet.EdgeID(e))
+		}
+		buf.flush()
+		return
+	}
+	var wg sync.WaitGroup
+	var next int64
+	var nextMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := newBatchBuf(t)
+			for {
+				// Claim a contiguous shard of source edges.
+				nextMu.Lock()
+				lo := int(next)
+				if lo >= n {
+					nextMu.Unlock()
+					break
+				}
+				hi := lo + precomputeBatchSize
+				if hi > n {
+					hi = n
+				}
+				next = int64(hi)
+				nextMu.Unlock()
+				for e := lo; e < hi; e++ {
+					buf.add(roadnet.EdgeID(e))
+				}
+				buf.flush()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// batchBuf accumulates computed rows and stores them with one lock
+// acquisition per flush.
+type batchBuf struct {
+	t     *Table
+	srcs  []roadnet.EdgeID
+	preds [][]roadnet.EdgeID
+	dists [][]float64
+}
+
+func newBatchBuf(t *Table) *batchBuf {
+	return &batchBuf{
+		t:     t,
+		srcs:  make([]roadnet.EdgeID, 0, precomputeBatchSize),
+		preds: make([][]roadnet.EdgeID, 0, precomputeBatchSize),
+		dists: make([][]float64, 0, precomputeBatchSize),
+	}
+}
+
+func (b *batchBuf) add(src roadnet.EdgeID) {
+	b.t.mu.RLock()
+	_, ok := b.t.pred[src]
+	b.t.mu.RUnlock()
+	if ok {
+		return
+	}
+	p, d := b.t.computeRow(src)
+	b.srcs = append(b.srcs, src)
+	b.preds = append(b.preds, p)
+	b.dists = append(b.dists, d)
+	if len(b.srcs) >= precomputeBatchSize {
+		b.flush()
+	}
+}
+
+func (b *batchBuf) flush() {
+	if len(b.srcs) == 0 {
+		return
+	}
+	b.t.precomputeBatch(b.srcs, b.preds, b.dists)
+	b.srcs = b.srcs[:0]
+	b.preds = b.preds[:0]
+	b.dists = b.dists[:0]
 }
 
 // CachedRows returns how many source rows are currently materialized.
@@ -207,11 +323,28 @@ func (t *Table) CachedRows() int {
 	return len(t.pred)
 }
 
+// Sizes of the row components, for the MemoryBytes estimate.
+const (
+	edgeIDBytes      = 4  // roadnet.EdgeID is an int32
+	float64Bytes     = 8
+	sliceHeaderBytes = 24 // ptr + len + cap on 64-bit platforms
+)
+
 // MemoryBytes estimates the memory held by materialized rows, mirroring the
-// paper's §6.2 discussion of auxiliary structure sizes.
+// paper's §6.2 discussion of auxiliary structure sizes. A row stores two
+// backing arrays — pred ([]EdgeID, SPend links) and dist ([]float64) — plus
+// their slice headers; the two maps are walked independently so the estimate
+// stays honest even for a partially materialized table. Map bucket overhead
+// is not modeled.
 func (t *Table) MemoryBytes() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	perRow := t.g.NumEdges() * (4 + 8) // EdgeID + float64
-	return len(t.pred) * perRow
+	total := 0
+	for _, p := range t.pred {
+		total += cap(p)*edgeIDBytes + sliceHeaderBytes
+	}
+	for _, d := range t.dist {
+		total += cap(d)*float64Bytes + sliceHeaderBytes
+	}
+	return total
 }

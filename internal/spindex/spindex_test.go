@@ -280,6 +280,89 @@ func TestPrecomputeAllAndMemory(t *testing.T) {
 	}
 }
 
+// MemoryBytes must account for everything a row actually stores: the pred
+// backing array, the dist backing array, and both slice headers.
+func TestMemoryBytesCountsBothSlices(t *testing.T) {
+	g, err := roadnet.Grid(3, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g)
+	if got := tab.MemoryBytes(); got != 0 {
+		t.Fatalf("empty table MemoryBytes = %d want 0", got)
+	}
+	tab.PrecomputeAll()
+	n := g.NumEdges()
+	perRow := n*edgeIDBytes + n*float64Bytes + 2*sliceHeaderBytes
+	if got, want := tab.MemoryBytes(), n*perRow; got != want {
+		t.Errorf("MemoryBytes = %d want %d", got, want)
+	}
+	// One more row cannot change a fully materialized estimate.
+	tab.Dist(0, roadnet.EdgeID(n-1))
+	if got, want := tab.MemoryBytes(), n*perRow; got != want {
+		t.Errorf("MemoryBytes after re-read = %d want %d", got, want)
+	}
+}
+
+// Parallel precompute must produce exactly the table serial precompute does.
+func TestPrecomputeAllParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(t, 14, 56, 23)
+	serial := NewTable(g)
+	serial.PrecomputeAllParallel(1)
+	for _, workers := range []int{2, 4, 8, 100} {
+		par := NewTable(g)
+		par.PrecomputeAllParallel(workers)
+		if par.CachedRows() != g.NumEdges() {
+			t.Fatalf("workers=%d: CachedRows = %d want %d", workers, par.CachedRows(), g.NumEdges())
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			for j := 0; j < g.NumEdges(); j++ {
+				src, dst := roadnet.EdgeID(i), roadnet.EdgeID(j)
+				if serial.SPEnd(src, dst) != par.SPEnd(src, dst) {
+					t.Fatalf("workers=%d: SPEnd(%d,%d) differs", workers, i, j)
+				}
+				sd, pd := serial.Dist(src, dst), par.Dist(src, dst)
+				if sd != pd && !(math.IsInf(sd, 1) && math.IsInf(pd, 1)) {
+					t.Fatalf("workers=%d: Dist(%d,%d) = %v want %v", workers, i, j, pd, sd)
+				}
+			}
+		}
+	}
+}
+
+// Concurrent readers racing a parallel precompute must observe consistent
+// rows (exercised under -race in CI).
+func TestRowConcurrentWithPrecompute(t *testing.T) {
+	g, err := roadnet.Grid(5, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tab.PrecomputeAllParallel(4)
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				src := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+				dst := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+				_ = tab.SPEnd(src, dst)
+				_ = tab.MemoryBytes()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.CachedRows() != g.NumEdges() {
+		t.Errorf("CachedRows = %d want %d", tab.CachedRows(), g.NumEdges())
+	}
+}
+
 func TestVertexDijkstra(t *testing.T) {
 	g, err := roadnet.Grid(4, 4, 100)
 	if err != nil {

@@ -18,6 +18,12 @@
 // Compressed trajectories answer whereat, whenat, range, passing-nearby and
 // minimal-distance queries without full decompression.
 //
+// The "Paralleled" in the name is first-class: CompressBatch fans a batch
+// over a configurable worker pool with per-item error reporting, and
+// NewPipeline / IngestGPS stream raw GPS through match -> reformat ->
+// compress on bounded channels with backpressure — in both cases the output
+// is byte-identical to the serial path regardless of worker count.
+//
 // The System type bundles the full pipeline — map matcher, re-formatter,
 // compressor and query processor — behind one handle:
 //
@@ -39,6 +45,7 @@ import (
 	"press/internal/gen"
 	"press/internal/geo"
 	"press/internal/mapmatch"
+	"press/internal/pipeline"
 	"press/internal/query"
 	"press/internal/roadnet"
 	"press/internal/spindex"
@@ -110,6 +117,9 @@ type Config struct {
 	// PrecomputeShortestPaths materializes the full all-pair table up front
 	// (the paper's preprocessing); when false, rows are computed lazily.
 	PrecomputeShortestPaths bool
+	// PrecomputeWorkers shards the precompute over this many workers
+	// (0 = GOMAXPROCS). Only consulted when PrecomputeShortestPaths is set.
+	PrecomputeWorkers int
 }
 
 // DefaultConfig returns the paper's defaults: θ = 3, zero-error temporal
@@ -144,7 +154,11 @@ func NewSystem(g *Graph, training []Path, cfg Config) (*System, error) {
 	}
 	sp := spindex.NewTable(g)
 	if cfg.PrecomputeShortestPaths {
-		sp.PrecomputeAll()
+		if cfg.PrecomputeWorkers > 0 {
+			sp.PrecomputeAllParallel(cfg.PrecomputeWorkers)
+		} else {
+			sp.PrecomputeAll()
+		}
 	}
 	corpus := make([]Path, 0, len(training))
 	for _, p := range training {
@@ -201,8 +215,54 @@ func (s *System) CompressGPS(raw RawTrajectory) (*Compressed, error) {
 }
 
 // CompressAll compresses a batch in parallel (the "Paralleled" in PRESS).
+// The first per-item error aborts the batch; use CompressBatch for
+// partial-failure reporting.
 func (s *System) CompressAll(trs []*Trajectory) ([]*Compressed, error) {
 	return s.compressor.CompressAll(trs)
+}
+
+// CompressBatch compresses a batch over a pool of the given number of
+// workers (0 = GOMAXPROCS) with first-class partial-failure reporting:
+// result i and error i describe trs[i] individually, no item aborts the
+// rest, and the output is byte-identical to the serial path regardless of
+// worker count.
+func (s *System) CompressBatch(trs []*Trajectory, workers int) ([]*Compressed, []error) {
+	return s.compressor.CompressBatch(trs, workers)
+}
+
+// Pipeline streams raw GPS trajectories through match -> reformat ->
+// compress on a worker pool with bounded buffers and backpressure; results
+// arrive in submission order. See internal/pipeline for the full contract.
+type Pipeline = pipeline.Pipeline
+
+// PipelineOptions tunes a streaming Pipeline (worker count, buffer size).
+type PipelineOptions = pipeline.Options
+
+// PipelineResult is the per-trajectory outcome of a Pipeline.
+type PipelineResult = pipeline.Result
+
+// NewPipeline starts a streaming ingest pipeline over this system's matcher
+// and compressor. Submit raw trajectories, consume Results concurrently:
+//
+//	p, _ := sys.NewPipeline(press.PipelineOptions{Workers: 8})
+//	go func() { for _, r := range feed { p.Submit(r) }; p.Close() }()
+//	for res := range p.Results() { ... }
+func (s *System) NewPipeline(opt PipelineOptions) (*Pipeline, error) {
+	return pipeline.New(s.matcher, s.compressor, opt)
+}
+
+// IngestGPS pushes a batch of raw GPS trajectories through the full
+// paralleled pipeline (match -> reformat -> compress) and returns one result
+// per input, in input order, with per-item errors (no fail-fast).
+func (s *System) IngestGPS(raws []RawTrajectory, workers int) ([]PipelineResult, error) {
+	return pipeline.Run(s.matcher, s.compressor, raws, PipelineOptions{Workers: workers})
+}
+
+// IngestGPSToStore is IngestGPS with a storage tail: successfully compressed
+// trajectories are appended to the fleet store in submission order. ids[i]
+// is raws[i]'s record id in the store, or -1 if the item failed.
+func (s *System) IngestGPSToStore(st *FleetStore, raws []RawTrajectory, workers int) (results []PipelineResult, ids []int, err error) {
+	return pipeline.RunToStore(s.matcher, s.compressor, st, raws, PipelineOptions{Workers: workers})
 }
 
 // Decompress recovers a trajectory: the spatial path is exactly the

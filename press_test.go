@@ -1,6 +1,7 @@
 package press
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -152,9 +153,113 @@ func TestCompressAllFacade(t *testing.T) {
 	t.Logf("fleet compression ratio %.2f", float64(raw)/float64(comp))
 }
 
+// CompressBatch with any worker count must be byte-identical to the serial
+// path, and a bad item must fail alone.
+func TestCompressBatchFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	serial := make([][]byte, len(ds.Truth))
+	for i, tr := range ds.Truth {
+		ct, err := sys.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = Marshal(ct)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		cts, errs := sys.CompressBatch(ds.Truth, workers)
+		for i := range ds.Truth {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, errs[i])
+			}
+			if !bytes.Equal(Marshal(cts[i]), serial[i]) {
+				t.Fatalf("workers=%d item %d: bytes differ from serial", workers, i)
+			}
+		}
+	}
+	// Partial failure: an out-of-range edge id fails item 2 and nothing else.
+	batch := append([]*Trajectory{}, ds.Truth[:5]...)
+	batch[2] = &Trajectory{Path: Path{1 << 20}, Temporal: Temporal{{D: 0, T: 0}, {D: 1, T: 1}}}
+	cts, errs := sys.CompressBatch(batch, 4)
+	for i := range batch {
+		if (i == 2) != (errs[i] != nil) {
+			t.Fatalf("item %d: unexpected error state %v", i, errs[i])
+		}
+		if (i == 2) != (cts[i] == nil) {
+			t.Fatalf("item %d: unexpected output state", i)
+		}
+	}
+}
+
+// The streaming pipeline facade must reproduce CompressGPS byte-for-byte, in
+// submission order, with per-item failures.
+func TestIngestGPSFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSND, cfg.NSTD = 50, 30
+	sys, ds := buildSystem(t, cfg)
+	raws := append([]RawTrajectory{}, ds.Raws[:10]...)
+	raws[4] = RawTrajectory{} // unmatchable
+	results, err := sys.IngestGPS(raws, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(raws) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Seq != i {
+			t.Fatalf("result %d out of order (Seq %d)", i, res.Seq)
+		}
+		if i == 4 {
+			if res.Err == nil {
+				t.Fatal("empty raw should fail")
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+		want, err := sys.CompressGPS(raws[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(Marshal(res.Compressed), Marshal(want)) {
+			t.Fatalf("item %d: pipeline bytes differ from CompressGPS", i)
+		}
+	}
+}
+
+// End-to-end streaming into a fleet store through the facade.
+func TestIngestGPSToStoreFacade(t *testing.T) {
+	sys, ds := buildSystem(t, DefaultConfig())
+	st, err := CreateFleetStore(t.TempDir() + "/fleet.prss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	results, ids, err := sys.IngestGPSToStore(st, ds.Raws[:8], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := 0
+	for i := range results {
+		if results[i].Err == nil {
+			if ids[i] != stored {
+				t.Fatalf("item %d: id %d want %d", i, ids[i], stored)
+			}
+			stored++
+		} else if ids[i] != -1 {
+			t.Fatalf("failed item %d has id %d", i, ids[i])
+		}
+	}
+	if st.Len() != stored {
+		t.Fatalf("store Len %d want %d", st.Len(), stored)
+	}
+}
+
 func TestPrecomputeOption(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PrecomputeShortestPaths = true
+	cfg.PrecomputeWorkers = 4
 	sys, ds := buildSystem(t, cfg)
 	ct, err := sys.Compress(ds.Truth[0])
 	if err != nil {
