@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench fuzz ci
 
 all: ci
 
@@ -21,4 +21,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
 
-ci: build vet race
+# Short fuzz smoke: keeps the harness from bit-rotting. FUZZTIME=5m for a
+# real session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
+
+ci: build vet race fuzz

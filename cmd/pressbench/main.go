@@ -9,8 +9,9 @@
 //
 // Figure ids: fig10a fig10b fig11a fig11b fig12a fig12b fig13 fig14 fig15
 // fig16 fig17 aux, plus the extensions: ablation (per-stage contribution),
-// qscale (query time vs trajectory length) and pipeline (streaming ingest
-// throughput vs worker count; -workers sets the top of the sweep).
+// qscale (query time vs trajectory length), pipeline (streaming ingest
+// throughput vs worker count; -workers sets the top of the sweep) and
+// storebench (sharded fleet-store append throughput at 1/2/4/8 shards).
 package main
 
 import (
@@ -19,12 +20,16 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"press/internal/core"
 	"press/internal/experiments"
 	"press/internal/mapmatch"
 	"press/internal/pipeline"
 	"press/internal/query"
+	"press/internal/store"
 )
 
 func main() {
@@ -50,9 +55,10 @@ func main() {
 	}
 	// Materialize the shortest-path rows up front over the worker pool (the
 	// paper's preprocessing), so every figure measures warm-path behavior.
-	// qscale builds its own environments and never reads this table, so a
-	// qscale-only run skips the O(|E|^2) cost.
-	if *fig == "all" || !strings.EqualFold(*fig, "qscale") {
+	// qscale builds its own environments and never reads this table, and
+	// storebench only compresses the fleet once (lazy rows suffice), so
+	// runs of just those skip the O(|E|^2) cost.
+	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") || strings.EqualFold(*fig, "storebench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -138,6 +144,9 @@ func main() {
 		{"pipeline", func() error {
 			return runPipelineScenario(env, *workers)
 		}},
+		{"storebench", func() error {
+			return runStoreBenchScenario(env)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -161,6 +170,7 @@ func main() {
 var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
+	"storebench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -215,6 +225,81 @@ func runPipelineScenario(env *experiments.Env, maxWorkers int) error {
 		}
 		fmt.Printf("%10d %12.0f %12v %10d %7.2fx\n",
 			w, rate, elapsed.Round(time.Millisecond), failed, rate/serial)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runStoreBenchScenario measures sharded fleet-store append throughput at
+// 1/2/4/8 shards: the fleet is compressed once, then each row appends the
+// same record set (replicated to ~10k appends, distinct ids) with one
+// appender goroutine per shard — the concurrency the sharded layout is
+// built to absorb. The 1-shard row is the single-writer baseline; on
+// multi-core hardware throughput should scale with the shard count until
+// the disk, not the shard lock, is the bottleneck.
+func runStoreBenchScenario(env *experiments.Env) error {
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		return err
+	}
+	cts, errs := comp.CompressBatch(env.DS.Truth, 0)
+	var fleet []*core.Compressed
+	for i, ct := range cts {
+		if errs[i] == nil {
+			fleet = append(fleet, ct)
+		}
+	}
+	if len(fleet) == 0 {
+		return fmt.Errorf("storebench: no compressible trajectories")
+	}
+	const targetAppends = 10000
+	reps := (targetAppends + len(fleet) - 1) / len(fleet)
+	total := reps * len(fleet)
+	fmt.Println("storebench: sharded fleet-store append throughput (one tail per shard)")
+	fmt.Printf("%10s %10s %12s %12s %8s\n", "shards", "appends", "traj/s", "elapsed", "speedup")
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		dir, err := os.MkdirTemp("", "press-storebench")
+		if err != nil {
+			return err
+		}
+		st, err := store.CreateSharded(dir+"/fleet", shards)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < shards; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					if err := st.Append(uint64(i), fleet[i%len(fleet)]); err != nil {
+						panic(err) // bench-only: tmpfs append cannot fail in normal operation
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		got := st.Len()
+		st.Close()
+		os.RemoveAll(dir)
+		if got != total {
+			return fmt.Errorf("storebench: %d shards stored %d of %d", shards, got, total)
+		}
+		rate := float64(total) / elapsed.Seconds()
+		if shards == 1 {
+			base = rate
+		}
+		fmt.Printf("%10d %10d %12.0f %12v %7.2fx\n",
+			shards, total, rate, elapsed.Round(time.Millisecond), rate/base)
 	}
 	fmt.Println()
 	return nil

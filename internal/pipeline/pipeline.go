@@ -69,6 +69,7 @@ type job struct {
 type Pipeline struct {
 	matcher *mapmatch.Matcher
 	comp    *core.Compressor
+	workers int
 
 	in  chan job
 	out chan Result
@@ -101,6 +102,7 @@ func New(m *mapmatch.Matcher, c *core.Compressor, opt Options) (*Pipeline, error
 	p := &Pipeline{
 		matcher: m,
 		comp:    c,
+		workers: workers,
 		in:      make(chan job, buffer),
 		out:     make(chan Result, buffer),
 		window:  make(chan struct{}, workers+buffer),
@@ -210,6 +212,15 @@ type Sink interface {
 	Append(ct *core.Compressed) (int, error)
 }
 
+// IDSink consumes compressed trajectories keyed by trajectory id and is
+// safe for concurrent Appends; store.ShardedStore satisfies it. Keying by
+// id (instead of an append-order index) is what frees the storage tail from
+// the single-writer serialization of Sink: placement is a pure function of
+// the id, so any number of tails can append at once.
+type IDSink interface {
+	Append(id uint64, ct *core.Compressed) error
+}
+
 // Run pushes a whole batch through a fresh pipeline and returns one Result
 // per input, in input order. Per-item failures are reported in the Results;
 // they never abort the batch.
@@ -228,6 +239,52 @@ func Run(m *mapmatch.Matcher, c *core.Compressor, raws []traj.Raw, opt Options) 
 	for res := range p.Results() {
 		out = append(out, res)
 	}
+	return out, nil
+}
+
+// RunToShardedStore is Run with a concurrent storage tail: up to `tails`
+// goroutines (0 = the worker count) drain the pipeline together and append
+// each successfully compressed trajectory to the sink keyed by its
+// submission index — so with a sharded sink, appends to different shards
+// proceed in parallel instead of funneling through one writer. Results are
+// still returned in submission order; an item whose append fails has the
+// sink's error recorded in its Err (and Compressed cleared), like any other
+// per-item failure.
+func RunToShardedStore(m *mapmatch.Matcher, c *core.Compressor, sink IDSink, raws []traj.Raw, opt Options, tails int) ([]Result, error) {
+	if sink == nil {
+		return nil, errors.New("pipeline: nil sink")
+	}
+	p, err := New(m, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	if tails <= 0 {
+		tails = p.workers
+	}
+	go func() {
+		for _, raw := range raws {
+			p.Submit(raw)
+		}
+		p.Close()
+	}()
+	out := make([]Result, len(raws))
+	var wg sync.WaitGroup
+	for t := 0; t < tails; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for res := range p.Results() {
+				if res.Err == nil {
+					if err := sink.Append(uint64(res.Seq), res.Compressed); err != nil {
+						res.Err = err
+						res.Compressed = nil
+					}
+				}
+				out[res.Seq] = res // each Seq is owned by exactly one tail
+			}
+		}()
+	}
+	wg.Wait()
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -209,6 +210,90 @@ func TestSubmitAfterClosePanics(t *testing.T) {
 		}
 	}()
 	p.Submit(ds.Raws[0])
+}
+
+// RunToShardedStore drains the pipeline with concurrent tails; every
+// successful item must land in the store under its submission index, byte
+// identical, with failures reported per item — at any tail count.
+func TestRunToShardedStore(t *testing.T) {
+	m, comp, ds := fixture(t)
+	raws := append([]traj.Raw{}, ds.Raws[:12]...)
+	raws[5] = traj.Raw{} // injected failure
+	for _, tails := range []int{1, 2, 4, 8} {
+		st, err := store.CreateSharded(t.TempDir()+"/fleet", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := RunToShardedStore(m, comp, st, raws, Options{Workers: 4}, tails)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(raws) {
+			t.Fatalf("tails=%d: %d results", tails, len(results))
+		}
+		stored := 0
+		for i, res := range results {
+			if res.Seq != i {
+				t.Fatalf("tails=%d: results out of submission order at %d", tails, i)
+			}
+			if i == 5 {
+				if res.Err == nil {
+					t.Fatalf("tails=%d: injected failure succeeded", tails)
+				}
+				if _, err := st.Get(uint64(i)); err == nil {
+					t.Fatalf("tails=%d: failed item was stored", tails)
+				}
+				continue
+			}
+			if res.Err != nil {
+				t.Fatalf("tails=%d item %d: %v", tails, i, res.Err)
+			}
+			got, err := st.Get(uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Marshal(), res.Compressed.Marshal()) {
+				t.Fatalf("tails=%d item %d: stored bytes differ", tails, i)
+			}
+			stored++
+		}
+		if st.Len() != stored {
+			t.Fatalf("tails=%d: store has %d records want %d", tails, st.Len(), stored)
+		}
+		st.Close()
+	}
+}
+
+// A sink failure is a per-item error, not a batch abort.
+type failingSink struct{}
+
+func (failingSink) Append(id uint64, _ *core.Compressed) error {
+	if id%3 == 0 {
+		return errClosedSink
+	}
+	return nil
+}
+
+var errClosedSink = errors.New("sink full")
+
+func TestRunToShardedStoreSinkErrors(t *testing.T) {
+	m, comp, ds := fixture(t)
+	results, err := RunToShardedStore(m, comp, failingSink{}, ds.Raws[:9], Options{Workers: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if i%3 == 0 {
+			if !errors.Is(res.Err, errClosedSink) || res.Compressed != nil {
+				t.Fatalf("item %d: Err=%v Compressed=%v (append failure not recorded)", i, res.Err, res.Compressed)
+			}
+		} else if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+	}
+	if _, err := RunToShardedStore(m, comp, nil, ds.Raws[:1], Options{}, 1); err == nil {
+		t.Error("nil sink accepted")
+	}
 }
 
 // RunToStore appends successful items in submission order and maps failed

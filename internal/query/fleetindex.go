@@ -17,6 +17,7 @@ import (
 type FleetIndex struct {
 	eng  *Engine
 	cts  []*core.Compressed
+	ids  []uint64 // store record id per position; ids[i] == i when built from a slice
 	root *rtreeNode
 }
 
@@ -34,6 +35,42 @@ const rtreeFanout = 8
 // is the union of its units' MBRs (computed from the auxiliary structures,
 // not by decompression).
 func NewFleetIndex(eng *Engine, cts []*core.Compressed) (*FleetIndex, error) {
+	ids := make([]uint64, len(cts))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return newFleetIndex(eng, cts, ids)
+}
+
+// Scanner streams a compressed fleet keyed by record id; both store.Store
+// (ids are append indexes) and store.ShardedStore (ids are trajectory ids)
+// satisfy it.
+type Scanner interface {
+	Scan(fn func(id uint64, ct *core.Compressed) error) error
+}
+
+// NewFleetIndexFromStore bulk-loads an index straight from a fleet store —
+// single-file or sharded — without the caller materializing a slice first.
+// Query results are positions in scan order; RecordID maps a position back
+// to the store id it came from.
+func NewFleetIndexFromStore(eng *Engine, src Scanner) (*FleetIndex, error) {
+	if src == nil {
+		return nil, errors.New("query: nil store")
+	}
+	var cts []*core.Compressed
+	var ids []uint64
+	err := src.Scan(func(id uint64, ct *core.Compressed) error {
+		cts = append(cts, ct)
+		ids = append(ids, id)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newFleetIndex(eng, cts, ids)
+}
+
+func newFleetIndex(eng *Engine, cts []*core.Compressed, ids []uint64) (*FleetIndex, error) {
 	if eng == nil {
 		return nil, errors.New("query: nil engine")
 	}
@@ -50,10 +87,14 @@ func NewFleetIndex(eng *Engine, cts []*core.Compressed) (*FleetIndex, error) {
 		}
 		leaves = append(leaves, n)
 	}
-	idx := &FleetIndex{eng: eng, cts: cts}
+	idx := &FleetIndex{eng: eng, cts: cts, ids: ids}
 	idx.root = buildSTR(leaves)
 	return idx, nil
 }
+
+// RecordID maps an index position (as returned by RangeQuery or Nearby)
+// back to the originating store record id.
+func (fi *FleetIndex) RecordID(i int) uint64 { return fi.ids[i] }
 
 // trajectoryMBR unions the unit MBRs of one compressed trajectory.
 func (e *Engine) trajectoryMBR(ct *core.Compressed) (geo.MBR, error) {

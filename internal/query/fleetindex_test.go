@@ -2,11 +2,13 @@ package query
 
 import (
 	"math/rand"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"press/internal/core"
 	"press/internal/geo"
+	"press/internal/store"
 )
 
 // fleetFixture builds a fixture plus the index over its compressed fleet.
@@ -96,6 +98,98 @@ func TestFleetIndexNearbyMatchesBruteForce(t *testing.T) {
 		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
 			t.Fatalf("trial %d: index %v brute %v", trial, got, want)
 		}
+	}
+}
+
+// An index bulk-loaded from a sharded store must answer exactly like one
+// built from the in-memory slice, and RecordID must map result positions
+// back to store ids.
+func TestFleetIndexFromShardedStore(t *testing.T) {
+	f, fi := fleetFixture(t)
+	st, err := store.CreateSharded(filepath.Join(t.TempDir(), "fleet"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i, ct := range f.cts {
+		if err := st.Append(uint64(i), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sfi, err := NewFleetIndexFromStore(f.eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sfi.Len() != fi.Len() {
+		t.Fatalf("Len = %d want %d", sfi.Len(), fi.Len())
+	}
+	rng := rand.New(rand.NewSource(47))
+	netMBR := f.ds.Graph.MBR()
+	for trial := 0; trial < 20; trial++ {
+		cx := netMBR.MinX + rng.Float64()*(netMBR.MaxX-netMBR.MinX)
+		cy := netMBR.MinY + rng.Float64()*(netMBR.MaxY-netMBR.MinY)
+		half := 50 + rng.Float64()*400
+		r := geo.NewMBR(geo.Point{X: cx - half, Y: cy - half}, geo.Point{X: cx + half, Y: cy + half})
+		t1 := rng.Float64() * 400
+		t2 := t1 + rng.Float64()*600
+		want, err := fi.RangeQuery(t1, t2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sfi.RangeQuery(t1, t2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Store scan order is per-shard, not slice order, so compare the
+		// sets of record ids instead of positions.
+		wantIDs := map[uint64]bool{}
+		for _, i := range want {
+			wantIDs[fi.RecordID(i)] = true
+		}
+		gotIDs := map[uint64]bool{}
+		for _, i := range got {
+			gotIDs[sfi.RecordID(i)] = true
+		}
+		if !reflect.DeepEqual(gotIDs, wantIDs) && !(len(gotIDs) == 0 && len(wantIDs) == 0) {
+			t.Fatalf("trial %d: store-index ids %v slice-index ids %v", trial, gotIDs, wantIDs)
+		}
+	}
+}
+
+// The same constructor reads a legacy v1 single-file store through the
+// shared Scanner interface.
+func TestFleetIndexFromLegacyStore(t *testing.T) {
+	f, fi := fleetFixture(t)
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := store.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, ct := range f.cts {
+		if _, err := st.Append(ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lfi, err := NewFleetIndexFromStore(f.eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lfi.RangeQuery(0, 1e9, f.ds.Graph.MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fi.RangeQuery(0, 1e9, f.ds.Graph.MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 ids are append indexes, so positions and ids coincide with the
+	// slice-built index.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy store index %v slice index %v", got, want)
+	}
+	if _, err := NewFleetIndexFromStore(f.eng, nil); err == nil {
+		t.Error("nil store accepted")
 	}
 }
 

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"press/internal/core"
+	"press/internal/traj"
+)
+
+// payloadFor derives a record deterministically from its id, so readers can
+// verify — without any out-of-band channel — that what they see is exactly
+// what id's writer appended (i.e. no torn or cross-wired records).
+func payloadFor(id uint64) *core.Compressed {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	bits := append([]byte(nil), b[:]...)
+	return &core.Compressed{
+		Spatial:  &core.SpatialCode{Bits: bits, NBits: 64},
+		Temporal: traj.Temporal{{D: float64(id), T: float64(id % 97)}},
+	}
+}
+
+// N goroutines append disjoint id ranges while readers stream concurrently;
+// afterwards every id must be present exactly once, byte-identical to what
+// its writer appended, on the shard ShardOf dictates. Run under -race.
+func TestConcurrentAppendersAndReaders(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 60
+		shards    = 4
+	)
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers stream the whole store while writes are in flight. Whatever
+	// snapshot a scan catches, every record it yields must be internally
+	// consistent (id matches payload) — a torn read would break that.
+	readerErr := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := st.Scan(func(id uint64, ct *core.Compressed) error {
+					if !bytes.Equal(ct.Marshal(), payloadFor(id).Marshal()) {
+						t.Errorf("concurrent scan: record %d torn", id)
+					}
+					return nil
+				})
+				if err != nil {
+					readerErr <- err
+					return
+				}
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i)
+				if err := st.Append(id, payloadFor(id)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				// Read-your-write from the writer goroutine.
+				if ct, err := st.Get(id); err != nil {
+					t.Errorf("writer %d: read-back %d: %v", w, id, err)
+				} else if !bytes.Equal(ct.Marshal(), payloadFor(id).Marshal()) {
+					t.Errorf("writer %d: read-back %d differs", w, id)
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readerErr:
+		t.Fatalf("reader: %v", err)
+	default:
+	}
+
+	const total = writers * perWriter
+	if st.Len() != total {
+		t.Fatalf("Len = %d want %d (lost or duplicated records)", st.Len(), total)
+	}
+	// Exactly-once, correct shard, correct bytes.
+	seen := make(map[uint64]int)
+	for s := 0; s < shards; s++ {
+		err := st.ScanShard(s, func(id uint64, ct *core.Compressed) error {
+			seen[id]++
+			if want := ShardOf(id, shards); want != s {
+				t.Errorf("id %d found on shard %d, ShardOf says %d", id, s, want)
+			}
+			if !bytes.Equal(ct.Marshal(), payloadFor(id).Marshal()) {
+				t.Errorf("id %d: stored bytes differ (torn write)", id)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint64(0); id < total; id++ {
+		if seen[id] != 1 {
+			t.Fatalf("id %d stored %d times", id, seen[id])
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("distinct ids = %d want %d", len(seen), total)
+	}
+
+	// The exact same fleet must come back after a crash-free reopen.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != total {
+		t.Fatalf("reopened Len = %d want %d", st2.Len(), total)
+	}
+}
+
+// Concurrent appends of ids that all hash to every shard interleave freely;
+// shard assignment must stay a pure function of the id (no load-dependent
+// rebalancing), so two stores fed the same ids in different orders place
+// every record identically.
+func TestShardAssignmentOrderIndependent(t *testing.T) {
+	const shards = 4
+	ids := make([]uint64, 200)
+	for i := range ids {
+		ids[i] = uint64(i * 31)
+	}
+	place := func(order []uint64) map[uint64]int {
+		dir := filepath.Join(t.TempDir(), "fleet")
+		st, err := CreateSharded(dir, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(order); i += 4 {
+					if err := st.Append(order[i], payloadFor(order[i])); err != nil {
+						t.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		out := make(map[uint64]int)
+		for s := 0; s < shards; s++ {
+			st.ScanShard(s, func(id uint64, _ *core.Compressed) error {
+				out[id] = s
+				return nil
+			})
+		}
+		return out
+	}
+	forward := place(ids)
+	rev := make([]uint64, len(ids))
+	for i, id := range ids {
+		rev[len(ids)-1-i] = id
+	}
+	backward := place(rev)
+	for _, id := range ids {
+		if forward[id] != backward[id] {
+			t.Fatalf("id %d placed on shard %d vs %d across orders", id, forward[id], backward[id])
+		}
+		if forward[id] != ShardOf(id, shards) {
+			t.Fatalf("id %d on shard %d, ShardOf says %d", id, forward[id], ShardOf(id, shards))
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"press/internal/core"
+)
+
+func TestShardedCreateAppendGet(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Shards() != 4 {
+		t.Fatalf("Shards = %d", st.Shards())
+	}
+	for i := 0; i < 40; i++ {
+		if err := st.Append(uint64(i), sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 40 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	perShard := 0
+	for i := 0; i < st.Shards(); i++ {
+		perShard += st.ShardLen(i)
+	}
+	if perShard != 40 {
+		t.Fatalf("shard lens sum to %d", perShard)
+	}
+	for i := 0; i < 40; i++ {
+		ct, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ct.Marshal(), sample(i).Marshal()) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	if _, err := st.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown id: err = %v want ErrNotFound", err)
+	}
+}
+
+func TestShardedReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		if err := st.Append(uint64(i), sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 17 || st2.Shards() != 3 {
+		t.Fatalf("reopened Len=%d Shards=%d", st2.Len(), st2.Shards())
+	}
+	// Appends continue after reopen, and land on the same shard as before.
+	if err := st2.Append(99, sample(99)); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := st2.Get(99)
+	if err != nil || ct.Spatial.Bits[0] != 99 {
+		t.Fatalf("post-reopen append broken: %v", err)
+	}
+	if got := st2.ShardLen(ShardOf(99, 3)); got == 0 {
+		t.Error("append did not land on its ShardOf shard")
+	}
+}
+
+func TestShardedScanOrderAndSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Expected scan order: shards ascending, append order within a shard.
+	var want [][]uint64 = make([][]uint64, 4)
+	for i := 0; i < 30; i++ {
+		id := uint64(i * 7)
+		if err := st.Append(id, sample(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[ShardOf(id, 4)] = append(want[ShardOf(id, 4)], id)
+	}
+	var flat []uint64
+	for _, w := range want {
+		flat = append(flat, w...)
+	}
+	var got []uint64
+	err = st.Scan(func(id uint64, ct *core.Compressed) error {
+		got = append(got, id)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flat) {
+		t.Fatalf("scanned %d of %d", len(got), len(flat))
+	}
+	for i := range got {
+		if got[i] != flat[i] {
+			t.Fatalf("scan order: got[%d]=%d want %d", i, got[i], flat[i])
+		}
+	}
+	// Callback error aborts and propagates.
+	boom := errors.New("boom")
+	if err := st.Scan(func(uint64, *core.Compressed) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("Scan error = %v want boom", err)
+	}
+}
+
+func TestShardedDuplicateIDLastWins(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(5, sample(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(5, sample(2)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d (both records kept)", st.Len())
+	}
+	ct, err := st.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ct.Marshal(), sample(2).Marshal()) {
+		t.Error("Get did not return the latest record for a duplicate id")
+	}
+}
+
+func TestShardedLegacyDegenerateCase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.prss")
+	v1, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := v1.Append(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1.Close()
+
+	st, err := OpenSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Legacy() || st.Shards() != 1 || st.Len() != 6 {
+		t.Fatalf("legacy wrap: Legacy=%v Shards=%d Len=%d", st.Legacy(), st.Shards(), st.Len())
+	}
+	// Ids are the v1 append indexes.
+	for i := 0; i < 6; i++ {
+		ct, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ct.Marshal(), sample(i).Marshal()) {
+			t.Fatalf("legacy record %d corrupted", i)
+		}
+	}
+	// The v1 format cannot carry trajectory ids: appends are refused.
+	if err := st.Append(100, sample(0)); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("legacy append err = %v want ErrReadOnly", err)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "legacy.prss")
+	v1, err := Create(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		if _, err := v1.Append(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1.Close()
+
+	dst := filepath.Join(dir, "sharded")
+	n, err := Migrate(src, dst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Fatalf("migrated %d records", n)
+	}
+	st, err := OpenSharded(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 11 || st.Shards() != 4 || st.Legacy() {
+		t.Fatalf("migrated store: Len=%d Shards=%d Legacy=%v", st.Len(), st.Shards(), st.Legacy())
+	}
+	// Byte-identical payloads under the v1 append indexes, and writable.
+	for i := 0; i < 11; i++ {
+		ct, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ct.Marshal(), sample(i).Marshal()) {
+			t.Fatalf("migrated record %d differs", i)
+		}
+	}
+	if err := st.Append(11, sample(11)); err != nil {
+		t.Fatalf("migrated store should accept appends: %v", err)
+	}
+}
+
+func TestShardedClosedOps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := st.Append(0, sample(0)); !errors.Is(err, ErrClosed) {
+		t.Error("Append after close accepted")
+	}
+	if _, err := st.Get(0); !errors.Is(err, ErrClosed) {
+		t.Error("Get after close accepted")
+	}
+	if err := st.Scan(func(uint64, *core.Compressed) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Error("Scan after close accepted")
+	}
+	if err := st.Sync(); !errors.Is(err, ErrClosed) {
+		t.Error("Sync after close accepted")
+	}
+	if err := st.Close(); err != nil {
+		t.Error("double Close should be nil")
+	}
+}
+
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8, 64} {
+		counts := make([]int, shards)
+		for id := uint64(0); id < 10000; id++ {
+			s := ShardOf(id, shards)
+			if s != ShardOf(id, shards) {
+				t.Fatalf("ShardOf(%d,%d) not deterministic", id, shards)
+			}
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%d,%d) = %d out of range", id, shards, s)
+			}
+			counts[s]++
+		}
+		// Sequential ids must spread: every shard within [½, 2]x fair share.
+		fair := 10000 / shards
+		for s, c := range counts {
+			if c < fair/2 || c > 2*fair {
+				t.Fatalf("shards=%d: shard %d holds %d of 10000 (fair %d)", shards, s, c, fair)
+			}
+		}
+	}
+}
+
+// Recreating a store with fewer shards at the same path must clear the old
+// segment files; stale higher-numbered shards would poison the next Open
+// with ErrBadLayout.
+func TestCreateShardedClearsStaleShards(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	big, err := CreateSharded(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.Close()
+	small, err := CreateSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Append(1, sample(1)); err != nil {
+		t.Fatal(err)
+	}
+	small.Close()
+	st, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("reopen after shrink: %v", err)
+	}
+	defer st.Close()
+	if st.Shards() != 4 || st.Len() != 1 {
+		t.Fatalf("Shards=%d Len=%d", st.Shards(), st.Len())
+	}
+}
+
+func TestCreateShardedValidation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := CreateSharded(filepath.Join(dir, "one"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 1 {
+		t.Errorf("shards<=0 should clamp to 1, got %d", st.Shards())
+	}
+	st.Close()
+	if _, err := CreateSharded(filepath.Join(dir, "huge"), MaxShards+1); err == nil {
+		t.Error("absurd shard count accepted")
+	}
+}
+
+func TestShardedSizeBytes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := CreateSharded(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.SizeBytes() != 2*8 {
+		t.Fatalf("empty size = %d", st.SizeBytes())
+	}
+	ct := sample(1)
+	if err := st.Append(1, ct); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*8 + v2RecHdr + ct.SizeBytes())
+	if st.SizeBytes() != want {
+		t.Fatalf("size = %d want %d", st.SizeBytes(), want)
+	}
+}
+
+func TestOpenShardedMissing(t *testing.T) {
+	if _, err := OpenSharded(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing store accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "empty")
+	os.MkdirAll(dir, 0o755)
+	if _, err := OpenSharded(dir); err == nil {
+		t.Error("directory without manifest accepted")
+	}
+}

@@ -1,16 +1,28 @@
-// Package store provides a persistent container for compressed trajectory
-// fleets: an append-only file of PRESS-compressed records with an in-memory
-// offset index, so LBS backends can keep months of trajectories on disk and
-// read any one of them (or stream all of them) without loading the fleet.
+// Package store provides persistent containers for compressed trajectory
+// fleets, so LBS backends can keep months of trajectories on disk, read any
+// one of them by id (Get), and stream all of them (Scan, Each) without
+// loading the fleet into memory.
 //
-// Layout (little endian):
+// Two layouts share the package:
 //
-//	magic "PRSS" | uint32 version | records...
+//   - Store is the v1 single-file container: one append-only file behind
+//     one writer, records addressed by append index.
+//   - ShardedStore (sharded.go) is the v2 fleet container: records are
+//     partitioned across N segment files by trajectory id, so N writers
+//     append concurrently; a manifest file makes the layout
+//     self-describing.
+//
+// v1 layout (little endian):
+//
+//	magic "PRSS" | uint32 version (1) | records...
 //	record: uint32 length | length bytes (core.Compressed.Marshal)
 //
-// The format is self-delimiting: Open rebuilds the index with one
-// sequential scan, so a crash mid-append loses at most the partial tail
-// record (detected and truncated away).
+// Both formats are self-delimiting: Open rebuilds the index with one
+// sequential scan (per shard, in parallel, for ShardedStore), so a crash
+// mid-append loses at most the partial tail record (detected and truncated
+// away). Damage that is not a crash tail — bad magic, an unsupported
+// version, a mangled length prefix, a checksum mismatch — surfaces as a
+// typed error (ErrBadMagic, ErrBadVersion, ErrCorrupt, ErrBadLayout).
 package store
 
 import (
@@ -77,11 +89,11 @@ func (s *Store) scan() error {
 	if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
 		return fmt.Errorf("store: short header: %w", err)
 	}
-	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
-		return errors.New("store: bad magic")
+	if !hasMagic(hdr[:], magic) {
+		return fmt.Errorf("store: %w", ErrBadMagic)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
-		return fmt.Errorf("store: unsupported version %d", v)
+		return fmt.Errorf("store: %w %d", ErrBadVersion, v)
 	}
 	end, err := s.f.Seek(0, io.SeekEnd)
 	if err != nil {
@@ -94,6 +106,9 @@ func (s *Store) scan() error {
 			return err
 		}
 		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n > MaxRecordLen {
+			return fmt.Errorf("store: %w: length %d at offset %d", ErrCorrupt, n, pos)
+		}
 		if pos+4+n > end {
 			break // partial tail record: drop it
 		}
@@ -158,6 +173,27 @@ func (s *Store) Each(fn func(i int, ct *core.Compressed) bool) error {
 		}
 		if !fn(i, ct) {
 			return nil
+		}
+	}
+	return nil
+}
+
+// Scan streams every record in append order, keyed by record id (for the
+// v1 format, the append index). The callback's error aborts the scan and is
+// returned. Scan is the streaming read path the package doc promises;
+// ShardedStore implements the same signature, so fleet readers can consume
+// either layout through one interface.
+func (s *Store) Scan(fn func(id uint64, ct *core.Compressed) error) error {
+	if s.closed {
+		return ErrClosed
+	}
+	for i := range s.offsets {
+		ct, err := s.Get(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(uint64(i), ct); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -159,6 +160,56 @@ func TestEach(t *testing.T) {
 	})
 	if err != nil || seen != 4 {
 		t.Fatalf("Each stopped at %d (%v)", seen, err)
+	}
+}
+
+// Scan is the streaming contract the package doc promises: every record in
+// append order, keyed by record id, with error-based early exit.
+func TestScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.prss")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []uint64
+	err = st.Scan(func(id uint64, ct *core.Compressed) error {
+		if int(ct.Spatial.Bits[0]) != int(id) {
+			t.Fatalf("record %d: wrong payload", id)
+		}
+		ids = append(ids, id)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("scanned %d of 10", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("ids[%d] = %d (order broken)", i, id)
+		}
+	}
+	// A callback error aborts the scan and propagates.
+	boom := errors.New("boom")
+	calls := 0
+	err = st.Scan(func(uint64, *core.Compressed) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("error exit: err=%v calls=%d", err, calls)
+	}
+	// Scan after Close reports ErrClosed instead of reading a dead handle.
+	st.Close()
+	if err := st.Scan(func(uint64, *core.Compressed) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Scan after close: err = %v", err)
 	}
 }
 

@@ -40,6 +40,7 @@ package press
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"press/internal/core"
 	"press/internal/gen"
@@ -120,6 +121,11 @@ type Config struct {
 	// PrecomputeWorkers shards the precompute over this many workers
 	// (0 = GOMAXPROCS). Only consulted when PrecomputeShortestPaths is set.
 	PrecomputeWorkers int
+	// StoreShards is the segment-file count for fleet stores created
+	// through System.NewFleetStore (0 or 1 = a single shard). More shards
+	// let more pipeline tails append concurrently; shard assignment is a
+	// stable hash of the trajectory id, so readers need no coordination.
+	StoreShards int
 }
 
 // DefaultConfig returns the paper's defaults: θ = 3, zero-error temporal
@@ -261,8 +267,31 @@ func (s *System) IngestGPS(raws []RawTrajectory, workers int) ([]PipelineResult,
 // IngestGPSToStore is IngestGPS with a storage tail: successfully compressed
 // trajectories are appended to the fleet store in submission order. ids[i]
 // is raws[i]'s record id in the store, or -1 if the item failed.
+//
+// The tail is a single writer (the v1 store serializes appends); for a
+// storage stage that keeps up with the parallel pipeline, use a sharded
+// store and IngestGPSToShardedStore.
 func (s *System) IngestGPSToStore(st *FleetStore, raws []RawTrajectory, workers int) (results []PipelineResult, ids []int, err error) {
 	return pipeline.RunToStore(s.matcher, s.compressor, st, raws, PipelineOptions{Workers: workers})
+}
+
+// IngestGPSToShardedStore is IngestGPS with a concurrent storage tail: one
+// append goroutine per store shard (capped by the worker count) drains the
+// pipeline and appends each compressed trajectory under its submission
+// index as trajectory id, so persistence parallelizes with the shard count
+// instead of funneling through one writer. results[i].Err records a failed
+// append like any other per-item failure; fetch stored records with
+// st.Get(uint64(i)).
+func (s *System) IngestGPSToShardedStore(st *ShardedFleetStore, raws []RawTrajectory, workers int) ([]PipelineResult, error) {
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0) // mirror pipeline.New's default
+	}
+	tails := st.Shards()
+	if tails > resolved {
+		tails = resolved
+	}
+	return pipeline.RunToShardedStore(s.matcher, s.compressor, st, raws, PipelineOptions{Workers: workers}, tails)
 }
 
 // Decompress recovers a trajectory: the spatial path is exactly the
@@ -346,6 +375,38 @@ func CreateFleetStore(path string) (*FleetStore, error) { return store.Create(pa
 // truncated tail record if the last append crashed.
 func OpenFleetStore(path string) (*FleetStore, error) { return store.Open(path) }
 
+// ShardedFleetStore is the fleet store v2: records partitioned across N
+// segment files by trajectory id, safe for concurrent appends and reads
+// (see internal/store for the on-disk layout and recovery semantics).
+type ShardedFleetStore = store.ShardedStore
+
+// CreateShardedFleetStore makes a new empty sharded fleet container
+// directory with the given shard count (minimum 1).
+func CreateShardedFleetStore(dir string, shards int) (*ShardedFleetStore, error) {
+	return store.CreateSharded(dir, shards)
+}
+
+// OpenShardedFleetStore opens an existing sharded fleet container,
+// rebuilding the per-shard indexes in parallel and recovering each shard
+// from a truncated tail record. A legacy single-file store opens as the
+// read-only 1-shard degenerate case; use MigrateFleetStore to convert it.
+func OpenShardedFleetStore(path string) (*ShardedFleetStore, error) {
+	return store.OpenSharded(path)
+}
+
+// MigrateFleetStore rewrites a legacy single-file fleet store into the
+// sharded layout (record ids become the v1 append indexes) and returns the
+// number of records migrated.
+func MigrateFleetStore(src, dstDir string, shards int) (int, error) {
+	return store.Migrate(src, dstDir, shards)
+}
+
+// NewFleetStore creates a sharded fleet container at dir with the
+// configured Config.StoreShards shard count.
+func (s *System) NewFleetStore(dir string) (*ShardedFleetStore, error) {
+	return store.CreateSharded(dir, s.cfg.StoreShards)
+}
+
 // FleetIndex is an STR-packed R-tree over a compressed fleet enabling
 // fleet-level queries (which trajectories crossed a region in a window)
 // without decompression — the indexing direction §6.3 of the paper sketches
@@ -356,4 +417,12 @@ type FleetIndex = query.FleetIndex
 // this system's auxiliary structures.
 func (s *System) NewFleetIndex(cts []*Compressed) (*FleetIndex, error) {
 	return query.NewFleetIndex(s.engine, cts)
+}
+
+// NewFleetIndexFromStore bulk-loads a fleet index straight from a fleet
+// store — single-file or sharded — without materializing the fleet as a
+// slice first. Use FleetIndex.RecordID to map query results back to store
+// record ids.
+func (s *System) NewFleetIndexFromStore(st query.Scanner) (*FleetIndex, error) {
+	return query.NewFleetIndexFromStore(s.engine, st)
 }

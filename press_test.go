@@ -256,6 +256,101 @@ func TestIngestGPSToStoreFacade(t *testing.T) {
 	}
 }
 
+// End-to-end sharded persistence through the facade: ingest with concurrent
+// tails, reopen with parallel index rebuild, query off disk, and migrate a
+// legacy store.
+func TestShardedFleetStoreFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StoreShards = 4
+	sys, ds := buildSystem(t, cfg)
+	dir := t.TempDir()
+
+	st, err := sys.NewFleetStore(dir + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 4 {
+		t.Fatalf("Shards = %d (Config.StoreShards not honored)", st.Shards())
+	}
+	results, err := sys.IngestGPSToShardedStore(st, ds.Raws[:10], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := 0
+	for i, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		stored++
+		ct, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatalf("item %d not in store: %v", i, err)
+		}
+		if !bytes.Equal(Marshal(ct), Marshal(res.Compressed)) {
+			t.Fatalf("item %d: stored bytes differ", i)
+		}
+	}
+	if st.Len() != stored {
+		t.Fatalf("store Len %d want %d", st.Len(), stored)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenShardedFleetStore(dir + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != stored {
+		t.Fatalf("reopened Len %d want %d", st2.Len(), stored)
+	}
+	fi, err := sys.NewFleetIndexFromStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := fi.RangeQuery(0, 1e9, sys.Graph().MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != stored {
+		t.Fatalf("whole-network query found %d of %d", len(hits), stored)
+	}
+
+	// Legacy migration: a v1 store's records come back under their old
+	// indexes, now appendable across shards.
+	legacy := dir + "/legacy.prss"
+	v1, err := CreateFleetStore(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Compressed
+	st2.Scan(func(id uint64, ct *Compressed) error {
+		if first == nil {
+			first = ct
+		}
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := v1.Append(first); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1.Close()
+	n, err := MigrateFleetStore(legacy, dir+"/migrated", 2)
+	if err != nil || n != 3 {
+		t.Fatalf("Migrate = %d, %v", n, err)
+	}
+	mig, err := OpenShardedFleetStore(dir + "/migrated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mig.Close()
+	if mig.Len() != 3 || mig.Shards() != 2 {
+		t.Fatalf("migrated: Len=%d Shards=%d", mig.Len(), mig.Shards())
+	}
+}
+
 func TestPrecomputeOption(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PrecomputeShortestPaths = true
