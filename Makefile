@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet test race bench benchsmoke streambench fuzz ci
 
 all: ci
 
@@ -21,10 +21,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
 
+# One iteration of every benchmark in every package: catches bit-rotted
+# benchmark code without paying for a real measurement run.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The live session-ingest scenario (per-point push latency, sessions/s at
+# 1/2/4/8 feeders).
+streambench:
+	$(GO) run ./cmd/pressbench -fig streambench
+
 # Short fuzz smoke: keeps the harness from bit-rotting. FUZZTIME=5m for a
 # real session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
 
-ci: build vet race fuzz
+ci: build vet race benchsmoke fuzz

@@ -6,8 +6,10 @@
 package press
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"press/internal/baseline"
@@ -20,6 +22,8 @@ import (
 	"press/internal/query"
 	"press/internal/roadnet"
 	"press/internal/spindex"
+	"press/internal/store"
+	"press/internal/stream"
 	"press/internal/traj"
 )
 
@@ -437,4 +441,98 @@ func BenchmarkAuxStructureBuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkStreamSessionIngest measures the live session layer end to end:
+// N concurrent feeders replay the fleet as per-vehicle point streams
+// through a stream.Manager into a 4-shard store (the streambench scenario
+// of cmd/pressbench, as a testing.B benchmark).
+func BenchmarkStreamSessionIngest(b *testing.B) {
+	env, _ := benchSetup(b)
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed := env.DS.Truth
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var points uint64
+			for i := 0; i < b.N; i++ {
+				st, err := store.CreateSharded(b.TempDir()+"/fleet", 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr, err := stream.NewManager(context.Background(), comp, st, stream.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							v := int(next.Add(1)) - 1
+							if v >= len(feed) {
+								return
+							}
+							tr := feed[v]
+							id := uint64(v)
+							err := tr.Replay(
+								func(e roadnet.EdgeID) error { return mgr.PushEdge(id, e) },
+								func(p traj.Entry) error { return mgr.PushSample(id, p) },
+							)
+							if err == nil {
+								err = mgr.Flush(id)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				points += mgr.Pushes()
+				if err := mgr.Close(); err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+			b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+			b.ReportMetric(
+				float64(b.N)*float64(len(feed))/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
+// BenchmarkOnlineCompressorPush isolates the per-point hot path: one
+// session's PushEdge+PushSample cost without manager or store overhead.
+func BenchmarkOnlineCompressorPush(b *testing.B) {
+	env, _ := benchSetup(b)
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oc, err := core.NewOnlineCompressor(comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := env.DS.Truth[0]
+	b.ResetTimer()
+	points := 0
+	for i := 0; i < b.N; i++ {
+		for _, e := range tr.Path {
+			oc.PushEdge(e)
+		}
+		for _, p := range tr.Temporal {
+			oc.PushSample(p)
+		}
+		points += len(tr.Path) + len(tr.Temporal)
+		if _, err := oc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
 }

@@ -10,11 +10,14 @@
 // Figure ids: fig10a fig10b fig11a fig11b fig12a fig12b fig13 fig14 fig15
 // fig16 fig17 aux, plus the extensions: ablation (per-stage contribution),
 // qscale (query time vs trajectory length), pipeline (streaming ingest
-// throughput vs worker count; -workers sets the top of the sweep) and
-// storebench (sharded fleet-store append throughput at 1/2/4/8 shards).
+// throughput vs worker count; -workers sets the top of the sweep),
+// storebench (sharded fleet-store append throughput at 1/2/4/8 shards) and
+// streambench (live per-vehicle session ingest: per-point push latency and
+// sessions/s at 1/2/4/8 concurrent feeders).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +32,10 @@ import (
 	"press/internal/mapmatch"
 	"press/internal/pipeline"
 	"press/internal/query"
+	"press/internal/roadnet"
 	"press/internal/store"
+	"press/internal/stream"
+	"press/internal/traj"
 )
 
 func main() {
@@ -56,9 +62,10 @@ func main() {
 	// Materialize the shortest-path rows up front over the worker pool (the
 	// paper's preprocessing), so every figure measures warm-path behavior.
 	// qscale builds its own environments and never reads this table, and
-	// storebench only compresses the fleet once (lazy rows suffice), so
-	// runs of just those skip the O(|E|^2) cost.
-	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") || strings.EqualFold(*fig, "storebench")) {
+	// storebench/streambench touch few distinct rows (lazy rows suffice),
+	// so runs of just those skip the O(|E|^2) cost.
+	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") ||
+		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -147,6 +154,9 @@ func main() {
 		{"storebench", func() error {
 			return runStoreBenchScenario(env)
 		}},
+		{"streambench", func() error {
+			return runStreamBenchScenario(env)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -170,7 +180,7 @@ func main() {
 var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
-	"storebench",
+	"storebench", "streambench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -300,6 +310,105 @@ func runStoreBenchScenario(env *experiments.Env) error {
 		}
 		fmt.Printf("%10d %10d %12.0f %12v %7.2fx\n",
 			shards, total, rate, elapsed.Round(time.Millisecond), rate/base)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runStreamBenchScenario measures the live session-ingest path: w feeder
+// goroutines ("workers") replay the fleet's ground-truth trajectories as
+// per-vehicle point streams through a stream.Manager into a 4-shard store,
+// flushing each vehicle at end of trip. Reported per worker count: mean
+// per-point push latency (wall time × workers / points — the cost a feeder
+// thread pays per point) and completed sessions/s. On multi-core hardware
+// sessions/s should scale with feeders until the flush-time FST encoding,
+// not session bookkeeping, dominates.
+func runStreamBenchScenario(env *experiments.Env) error {
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		return err
+	}
+	feed := env.DS.Truth
+	if len(feed) == 0 {
+		return fmt.Errorf("streambench: no trajectories")
+	}
+	const targetSessions = 600
+	reps := (targetSessions + len(feed) - 1) / len(feed)
+	total := reps * len(feed)
+	fmt.Println("streambench: live per-vehicle session ingest (online codec -> sharded store)")
+	fmt.Printf("%10s %10s %10s %12s %12s %12s %8s\n",
+		"workers", "sessions", "points", "ns/push", "points/s", "sessions/s", "speedup")
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		dir, err := os.MkdirTemp("", "press-streambench")
+		if err != nil {
+			return err
+		}
+		st, err := store.CreateSharded(dir+"/fleet", 4)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		mgr, err := stream.NewManager(context.Background(), comp, st, stream.Options{})
+		if err != nil {
+			st.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errc := make(chan error, w)
+		t0 := time.Now()
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					id := uint64(i)
+					tr := feed[i%len(feed)]
+					err := tr.Replay(
+						func(e roadnet.EdgeID) error { return mgr.PushEdge(id, e) },
+						func(p traj.Entry) error { return mgr.PushSample(id, p) },
+					)
+					if err == nil {
+						err = mgr.Flush(id)
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		points, sessions := mgr.Pushes(), mgr.Flushed()
+		err = mgr.Close()
+		st.Close()
+		os.RemoveAll(dir)
+		select {
+		case ferr := <-errc:
+			return fmt.Errorf("streambench: %d workers: %w", w, ferr)
+		default:
+		}
+		if err != nil {
+			return err
+		}
+		if int(sessions) != total {
+			return fmt.Errorf("streambench: %d workers flushed %d of %d sessions", w, sessions, total)
+		}
+		rate := float64(sessions) / elapsed.Seconds()
+		if w == 1 {
+			base = rate
+		}
+		nsPerPush := float64(elapsed.Nanoseconds()) * float64(w) / float64(points)
+		fmt.Printf("%10d %10d %10d %12.0f %12.0f %12.0f %7.2fx\n",
+			w, sessions, points, nsPerPush,
+			float64(points)/elapsed.Seconds(), rate, rate/base)
 	}
 	fmt.Println()
 	return nil

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -99,8 +100,11 @@ func main() {
 		log.Fatal(err)
 	}
 	go func() {
+		ctx := context.Background()
 		for _, raw := range ds.Raws[:20] {
-			p.Submit(raw) // blocks when the pipeline is saturated
+			if _, err := p.Submit(ctx, raw); err != nil { // blocks when saturated
+				log.Fatal(err)
+			}
 		}
 		p.Close()
 	}()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 
 	"press/internal/roadnet"
@@ -153,4 +154,97 @@ func (o *OnlineBTC) Flush() {
 func (o *OnlineBTC) Reset() {
 	o.n = 0
 	o.resetWindow(traj.Entry{})
+}
+
+// OnlineCompressor composes OnlineSP and OnlineBTC behind one push/flush
+// API — the streaming counterpart of Compressor.Compress. Push edges as the
+// vehicle enters them (PushEdge) and (d, t) tuples as fixes arrive
+// (PushSample); Flush finalizes both streams, runs the retained spatial
+// path through the FST codebook and returns a Compressed record that is
+// byte-identical to what the batch Compressor.Compress produces for the
+// same trajectory.
+//
+// Memory while streaming is proportional to the *retained* (compressed)
+// elements, not the raw input: OnlineSP and OnlineBTC decide each element
+// the moment its window closes, and only the survivors are buffered for
+// the FST stage. The FST Huffman coding itself runs at Flush — the greedy
+// decomposition of Algorithm 2 unwinds the matched-state stack backward,
+// so it needs the full retained sequence; encoding the (much smaller)
+// retained path once at end of stream is the honest online adaptation of
+// §7.2.
+//
+// An OnlineCompressor is not safe for concurrent use; give each live
+// vehicle its own (see internal/stream for the session layer that does).
+type OnlineCompressor struct {
+	c       *Compressor
+	sp      *OnlineSP
+	btc     *OnlineBTC
+	path    traj.Path     // retained SP-compressed edges
+	temp    traj.Temporal // retained temporal tuples
+	edges   int           // raw edges pushed since the last Reset/Flush
+	samples int           // raw tuples pushed since the last Reset/Flush
+}
+
+// NewOnlineCompressor creates a streaming compressor sharing the batch
+// compressor's static structures (SP table, codebook, temporal bounds).
+func NewOnlineCompressor(c *Compressor) (*OnlineCompressor, error) {
+	if c == nil {
+		return nil, errors.New("core: nil compressor")
+	}
+	o := &OnlineCompressor{c: c}
+	o.sp = NewOnlineSP(c.SP, func(e roadnet.EdgeID) { o.path = append(o.path, e) })
+	o.btc = NewOnlineBTC(c.Tau, c.Eta, func(p traj.Entry) { o.temp = append(o.temp, p) })
+	return o, nil
+}
+
+// PushEdge feeds the next traversed edge of the spatial path.
+func (o *OnlineCompressor) PushEdge(e roadnet.EdgeID) {
+	o.edges++
+	o.sp.Push(e)
+}
+
+// PushSample feeds the next temporal (d, t) tuple. Tuples must arrive with
+// strictly increasing T and non-decreasing D, as in the batch pipeline.
+func (o *OnlineCompressor) PushSample(p traj.Entry) {
+	o.samples++
+	o.btc.Push(p)
+}
+
+// Edges returns the number of raw edges pushed since the last Reset/Flush.
+func (o *OnlineCompressor) Edges() int { return o.edges }
+
+// Samples returns the number of raw tuples pushed since the last
+// Reset/Flush.
+func (o *OnlineCompressor) Samples() int { return o.samples }
+
+// Empty reports whether nothing has been pushed since the last Reset/Flush.
+func (o *OnlineCompressor) Empty() bool { return o.edges == 0 && o.samples == 0 }
+
+// Flush finalizes the trajectory: the trailing window elements are emitted,
+// the retained spatial path is FST-encoded, and the compressor resets
+// itself for the next trajectory. The returned record is byte-identical to
+// batch Compressor.Compress on the same (Path, Temporal) input.
+func (o *OnlineCompressor) Flush() (*Compressed, error) {
+	o.sp.Flush()
+	o.btc.Flush()
+	sc, err := o.c.CB.Encode(o.path)
+	if err != nil {
+		// Leave the streams reset even on failure so the compressor can be
+		// reused for the next trajectory.
+		o.Reset()
+		return nil, err
+	}
+	ct := &Compressed{Spatial: sc, Temporal: o.temp}
+	o.path, o.temp = nil, nil
+	o.Reset()
+	return ct, nil
+}
+
+// Reset discards any in-flight state and prepares for a new trajectory.
+func (o *OnlineCompressor) Reset() {
+	o.sp.Reset()
+	o.btc.Reset()
+	o.path = o.path[:0]
+	o.temp = o.temp[:0]
+	o.edges, o.samples = 0, 0
 }

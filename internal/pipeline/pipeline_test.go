@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -46,11 +48,15 @@ func fixture(t *testing.T) (*mapmatch.Matcher, *core.Compressor, *gen.Dataset) {
 
 func TestNewValidation(t *testing.T) {
 	m, comp, _ := fixture(t)
-	if _, err := New(nil, comp, Options{}); err == nil {
+	ctx := context.Background()
+	if _, err := New(ctx, nil, comp, Options{}); err == nil {
 		t.Error("nil matcher accepted")
 	}
-	if _, err := New(m, nil, Options{}); err == nil {
+	if _, err := New(ctx, m, nil, Options{}); err == nil {
 		t.Error("nil compressor accepted")
+	}
+	if _, err := New(ctx, m, comp, Options{MinWorkers: 4, MaxWorkers: 2}); err == nil {
+		t.Error("MinWorkers > MaxWorkers accepted")
 	}
 }
 
@@ -119,13 +125,17 @@ func TestPerItemFailure(t *testing.T) {
 // complete and ordered.
 func TestStreamingBackpressure(t *testing.T) {
 	m, comp, ds := fixture(t)
-	p, err := New(m, comp, Options{Workers: 4, Buffer: 1})
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{Workers: 4, Buffer: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	go func() {
 		for _, raw := range ds.Raws {
-			p.Submit(raw)
+			if _, err := p.Submit(ctx, raw); err != nil {
+				t.Error(err)
+				break
+			}
 		}
 		p.Close()
 	}()
@@ -153,7 +163,8 @@ func TestStreamingBackpressure(t *testing.T) {
 // instead of buffering the whole stream in the reorder stage.
 func TestSubmitBlocksWithoutConsumer(t *testing.T) {
 	m, comp, ds := fixture(t)
-	p, err := New(m, comp, Options{Workers: 2, Buffer: 1})
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{Workers: 2, Buffer: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +172,10 @@ func TestSubmitBlocksWithoutConsumer(t *testing.T) {
 	var submitted atomic.Int64
 	go func() {
 		for i := 0; i < total; i++ {
-			p.Submit(ds.Raws[i%len(ds.Raws)])
+			if _, err := p.Submit(ctx, ds.Raws[i%len(ds.Raws)]); err != nil {
+				t.Error(err)
+				break
+			}
 			submitted.Add(1)
 		}
 		p.Close()
@@ -196,20 +210,247 @@ func TestSubmitBlocksWithoutConsumer(t *testing.T) {
 	}
 }
 
-func TestSubmitAfterClosePanics(t *testing.T) {
+func TestSubmitAfterCloseReturnsErrClosed(t *testing.T) {
 	m, comp, ds := fixture(t)
-	p, err := New(m, comp, Options{})
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Close()
 	p.Close() // idempotent
-	defer func() {
-		if recover() == nil {
-			t.Error("Submit after Close should panic")
+	if _, err := p.Submit(ctx, ds.Raws[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := p.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown after full drain: %v", err)
+	}
+	if _, err := p.Submit(ctx, ds.Raws[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Shutdown = %v, want ErrClosed", err)
+	}
+}
+
+// Shutdown with an unexpired context is the graceful drain: every accepted
+// item must come out, in order, and Shutdown must return nil.
+func TestShutdownDrainLosesNothing(t *testing.T) {
+	m, comp, ds := fixture(t)
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{Workers: 4, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	got := make(chan int, 1)
+	go func() {
+		count := 0
+		for res := range p.Results() {
+			if res.Seq != count {
+				t.Errorf("out of order: got %d want %d", res.Seq, count)
+			}
+			count++
+		}
+		got <- count
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := p.Submit(ctx, ds.Raws[i%len(ds.Raws)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if count := <-got; count != n {
+		t.Fatalf("drained %d of %d accepted items", count, n)
+	}
+}
+
+// Shutdown with an already-expired context must discard queued work and
+// return promptly even when nobody consumes Results.
+func TestShutdownDiscardReturnsPromptly(t *testing.T) {
+	m, comp, ds := fixture(t)
+	p, err := New(context.Background(), m, comp, Options{Workers: 1, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: nobody drains Results, so most of these sit queued.
+	submitCtx, cancelSubmit := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelSubmit()
+	for i := 0; i < 8; i++ {
+		if _, err := p.Submit(submitCtx, ds.Raws[i%len(ds.Raws)]); err != nil {
+			break // saturated; that is the point
+		}
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- p.Shutdown(cancelled) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Shutdown = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("discard-mode Shutdown did not return promptly")
+	}
+	// Results must be closed (promptly) after a discard shutdown.
+	select {
+	case _, ok := <-p.Results():
+		for ok {
+			_, ok = <-p.Results()
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Results did not close after discard shutdown")
+	}
+}
+
+// Cancelling the lifetime context passed to New unblocks a saturated
+// producer with the cancellation cause and closes Results.
+func TestLifetimeContextCancelUnblocksSubmit(t *testing.T) {
+	m, comp, ds := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	p, err := New(ctx, m, comp, Options{Workers: 1, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			if _, err := p.Submit(context.Background(), ds.Raws[i%len(ds.Raws)]); err != nil {
+				errc <- err
+				return
+			}
 		}
 	}()
-	p.Submit(ds.Raws[0])
+	time.Sleep(50 * time.Millisecond) // let the producer saturate and block
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit unblocked with %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked Submit did not observe cancellation")
+	}
+	for range p.Results() {
+	}
+	p.Close() // post-cancel Close must stay safe
+}
+
+// The per-call Submit context bounds the backpressure wait without killing
+// the pipeline.
+func TestSubmitContextTimeout(t *testing.T) {
+	m, comp, ds := fixture(t)
+	p, err := New(context.Background(), m, comp, Options{Workers: 1, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	timedOut := false
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err := p.Submit(ctx, ds.Raws[0])
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			timedOut = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !timedOut {
+		t.Fatal("saturated Submit never honored its context deadline")
+	}
+	// The pipeline itself is still healthy: drain everything accepted.
+	go p.Close()
+	for res := range p.Results() {
+		_ = res
+	}
+}
+
+// The adaptive pool must grow toward MaxWorkers while the queue stays deep
+// and shrink back to MinWorkers when the feed goes quiet — with no goroutine
+// left behind after shutdown.
+func TestAdaptiveWorkerPool(t *testing.T) {
+	m, comp, ds := fixture(t)
+	before := runtime.NumGoroutine()
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{
+		MinWorkers: 1, MaxWorkers: 4, Buffer: 4, IdleRetire: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("initial pool %d, want MinWorkers=1", got)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for res := range p.Results() {
+			_ = res
+		}
+	}()
+	grew := 0
+	for i := 0; i < 120; i++ {
+		if _, err := p.Submit(ctx, ds.Raws[i%len(ds.Raws)]); err != nil {
+			t.Fatal(err)
+		}
+		if w := p.Workers(); w > grew {
+			grew = w
+		}
+	}
+	if grew < 2 {
+		t.Fatalf("pool never grew above %d under sustained load", grew)
+	}
+	if grew > 4 {
+		t.Fatalf("pool exceeded MaxWorkers: %d", grew)
+	}
+	// Quiet feed: surplus workers must retire back to the floor.
+	shrunk := false
+	for wait := time.Now().Add(30 * time.Second); time.Now().Before(wait); {
+		if p.Workers() == 1 {
+			shrunk = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !shrunk {
+		t.Fatalf("pool stuck at %d workers after the feed went quiet", p.Workers())
+	}
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// All pipeline goroutines must unwind (allow scheduler noise).
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// RunContext cancellation: partial results come back with the cancellation
+// cause on unprocessed items, and nothing hangs.
+func TestRunContextCancel(t *testing.T) {
+	m, comp, ds := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := RunContext(ctx, m, comp, ds.Raws, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if len(results) != len(ds.Raws) {
+		t.Fatalf("got %d results for %d inputs", len(results), len(ds.Raws))
+	}
+	for i, res := range results {
+		if res.Err == nil && res.Compressed == nil {
+			t.Fatalf("item %d: neither result nor error after cancellation", i)
+		}
+	}
 }
 
 // RunToShardedStore drains the pipeline with concurrent tails; every
@@ -337,5 +578,73 @@ func TestRunToStore(t *testing.T) {
 	}
 	if st.Len() != wantID {
 		t.Fatalf("store has %d records want %d", st.Len(), wantID)
+	}
+}
+
+// After a complete drain the pipeline's derived context is released; a
+// late Submit must still surface the public ErrClosed, never the internal
+// completion sentinel.
+func TestSubmitAfterDrainReturnsErrClosed(t *testing.T) {
+	m, comp, ds := fixture(t)
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for _, raw := range ds.Raws[:6] {
+			if _, err := p.Submit(ctx, raw); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		p.Close()
+	}()
+	for range p.Results() {
+	}
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after drain = %v, want nil", err)
+	}
+	if _, err := p.Submit(ctx, ds.Raws[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after drain = %v, want ErrClosed", err)
+	}
+}
+
+// Submit after Close must return ErrClosed even when the pipeline is
+// saturated (no free window slot) — not hang waiting for one.
+func TestSubmitAfterCloseSaturated(t *testing.T) {
+	m, comp, ds := fixture(t)
+	ctx := context.Background()
+	p, err := New(ctx, m, comp, Options{Workers: 1, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate with no consumer until Submit would block.
+	for {
+		sctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+		_, err := p.Submit(sctx, ds.Raws[0])
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, ds.Raws[0])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Submit after Close on saturated pipeline = %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Submit after Close hung on a saturated pipeline")
+	}
+	for range p.Results() {
 	}
 }

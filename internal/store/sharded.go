@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"press/internal/core"
 )
@@ -98,19 +99,46 @@ func ShardOf(id uint64, shards int) int {
 	return int(x % uint64(shards))
 }
 
+// SyncPolicy controls when appends reach stable storage. The zero value is
+// SyncNever: appends land in the OS page cache and a crash may lose
+// recently appended records (each shard still recovers to its last
+// complete durable record). SyncAlways fsyncs the written shard after
+// every append — the strongest guarantee and the slowest. SyncInterval(n)
+// is the middle ground: each shard fsyncs after every n appends to it, so
+// at most n-1 records per shard ride in the page cache.
+type SyncPolicy struct {
+	every int // 0 = never, 1 = always, n = every n appends per shard
+}
+
+// SyncNever relies on the OS page cache (the default; fastest).
+var SyncNever = SyncPolicy{}
+
+// SyncAlways fsyncs the shard after every append.
+var SyncAlways = SyncPolicy{every: 1}
+
+// SyncInterval fsyncs a shard after every n appends to it; n <= 0 means
+// never.
+func SyncInterval(n int) SyncPolicy {
+	if n < 0 {
+		n = 0
+	}
+	return SyncPolicy{every: n}
+}
+
 // shard is one segment file plus its in-memory index. Every mutation and
 // index read happens under mu; parallelism across a ShardedStore comes from
 // different ids landing on different shards, not from lock-free tricks
 // inside one.
 type shard struct {
-	mu      sync.RWMutex
-	f       *os.File
-	legacy  bool // v1 record format: no ids, no CRC
-	ids     []uint64
-	offsets []int64 // payload offsets
-	sizes   []int
-	slots   map[uint64]int // id -> latest slot
-	wpos    int64
+	mu       sync.RWMutex
+	f        *os.File
+	legacy   bool // v1 record format: no ids, no CRC
+	ids      []uint64
+	offsets  []int64 // payload offsets
+	sizes    []int
+	slots    map[uint64]int // id -> latest slot
+	wpos     int64
+	unsynced int // appends since the last fsync (SyncInterval bookkeeping)
 }
 
 // ShardedStore is an open sharded fleet container. Appends, reads and scans
@@ -120,8 +148,22 @@ type ShardedStore struct {
 	dir    string
 	shards []*shard
 
+	syncEvery atomic.Int32 // SyncPolicy, readable without the store lock
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// SetSyncPolicy installs the fsync policy for subsequent appends; safe to
+// call concurrently with appends. It returns the store for chaining.
+func (s *ShardedStore) SetSyncPolicy(p SyncPolicy) *ShardedStore {
+	s.syncEvery.Store(int32(p.every))
+	return s
+}
+
+// SyncPolicy returns the policy currently in force.
+func (s *ShardedStore) SyncPolicy() SyncPolicy {
+	return SyncPolicy{every: int(s.syncEvery.Load())}
 }
 
 // CreateSharded makes a new empty sharded store directory with the given
@@ -414,11 +456,36 @@ func (s *ShardedStore) appendRaw(id uint64, payload []byte) error {
 	if _, err := sh.f.WriteAt(buf, sh.wpos); err != nil {
 		return err
 	}
+	prevSlot, hadSlot := sh.slots[id]
 	sh.ids = append(sh.ids, id)
 	sh.offsets = append(sh.offsets, sh.wpos+v2RecHdr)
 	sh.sizes = append(sh.sizes, len(payload))
 	sh.slots[id] = len(sh.ids) - 1
 	sh.wpos += int64(len(buf))
+	if every := int(s.syncEvery.Load()); every > 0 {
+		sh.unsynced++
+		if sh.unsynced >= every {
+			if err := sh.f.Sync(); err != nil {
+				// A failed fsync leaves this record's durability unknown:
+				// un-index it (an errored Append must not be served by Get)
+				// and keep the unsynced count for the earlier records so
+				// the next append retries the sync immediately. Truncation
+				// is best-effort — the scan-on-open drops the tail anyway.
+				n := len(sh.ids) - 1
+				sh.ids, sh.offsets, sh.sizes = sh.ids[:n], sh.offsets[:n], sh.sizes[:n]
+				if hadSlot {
+					sh.slots[id] = prevSlot
+				} else {
+					delete(sh.slots, id)
+				}
+				sh.wpos -= int64(len(buf))
+				sh.unsynced--
+				_ = sh.f.Truncate(sh.wpos)
+				return err
+			}
+			sh.unsynced = 0
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,416 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"press/internal/core"
+	"press/internal/gen"
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/store"
+	"press/internal/traj"
+)
+
+// fixture builds a compressor over a small synthetic fleet plus a sharded
+// store to flush into.
+func fixture(t *testing.T) (*core.Compressor, *gen.Dataset, *store.ShardedStore) {
+	t.Helper()
+	opt := gen.Default(24)
+	opt.City.Rows, opt.City.Cols = 6, 6
+	ds, err := gen.Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := spindex.NewTable(ds.Graph)
+	corpus := make([]traj.Path, 0, 12)
+	for _, p := range ds.Trips[:12] {
+		corpus = append(corpus, core.SPCompress(tab, p))
+	}
+	cb, err := core.Train(corpus, core.TrainOptions{NumEdges: ds.Graph.NumEdges(), Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.NewCompressor(ds.Graph, tab, cb, 50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.CreateSharded(t.TempDir()+"/fleet", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return comp, ds, st
+}
+
+// feed pushes a full trajectory into vehicle id's session, interleaving
+// edges and samples like a live feed.
+func feed(t *testing.T, m *Manager, id uint64, tr *traj.Trajectory) {
+	t.Helper()
+	err := tr.Replay(
+		func(e roadnet.EdgeID) error { return m.PushEdge(id, e) },
+		func(p traj.Entry) error { return m.PushSample(id, p) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Each flushed session record must be byte-identical to the batch
+// compression of the same trajectory, retrievable from the store by id.
+func TestSessionFlushMatchesBatch(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i, tr := range ds.Truth {
+		id := uint64(i)
+		feed(t, m, id, tr)
+		if err := m.Flush(id); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+		want, err := comp.Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Get(id)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("trajectory %d: stored session bytes differ from batch", i)
+		}
+	}
+	if got := m.Flushed(); got != uint64(len(ds.Truth)) {
+		t.Fatalf("Flushed() = %d, want %d", got, len(ds.Truth))
+	}
+	if m.Active() != 0 {
+		t.Fatalf("%d sessions still open after flushes", m.Active())
+	}
+	if err := m.Flush(12345); err != nil {
+		t.Fatalf("flushing an unknown id: %v", err)
+	}
+}
+
+// A vehicle that goes dark must be auto-flushed by the idle sweeper.
+func TestIdleAutoFlush(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{
+		IdleFlush:  40 * time.Millisecond,
+		SweepEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr := ds.Truth[0]
+	const id = 7
+	feed(t, m, id, tr)
+	if m.Active() != 1 {
+		t.Fatalf("Active() = %d after pushes", m.Active())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Active() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Active() != 0 {
+		t.Fatal("idle session never auto-flushed")
+	}
+	want, err := comp.Compress(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(id)
+	if err != nil {
+		t.Fatalf("auto-flushed record unreadable: %v", err)
+	}
+	if !bytes.Equal(got.Marshal(), want.Marshal()) {
+		t.Fatal("auto-flushed bytes differ from batch")
+	}
+	// A new push for the same id opens a fresh trajectory.
+	if err := m.PushEdge(id, tr.Path[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.Active() != 1 {
+		t.Fatalf("Active() = %d after post-flush push", m.Active())
+	}
+}
+
+// Concurrent vehicles: every session must land intact under -race, with
+// parallel pushes across sessions and a concurrent explicit flusher.
+func TestConcurrentVehicles(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ds.Truth)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := uint64(i)
+			tr := ds.Truth[i]
+			feed(t, m, id, tr)
+			if err := m.Flush(id); err != nil {
+				t.Errorf("flush %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want, err := comp.Compress(ds.Truth[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatalf("vehicle %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("vehicle %d: stored bytes differ from batch", i)
+		}
+	}
+}
+
+// Shutdown mid-stream: open sessions flush, the store stays readable, no
+// goroutines are left behind, and later pushes fail with ErrManagerClosed.
+func TestShutdownMidStream(t *testing.T) {
+	comp, ds, st := fixture(t)
+	before := runtime.NumGoroutine()
+	m, err := NewManager(context.Background(), comp, st, Options{
+		IdleFlush:  time.Hour, // sweeper alive but never firing
+		SweepEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const vehicles = 6
+	for i := 0; i < vehicles; i++ {
+		feed(t, m, uint64(i), ds.Truth[i]) // sessions left open: mid-stream
+	}
+	if m.Active() != vehicles {
+		t.Fatalf("Active() = %d, want %d", m.Active(), vehicles)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := m.PushEdge(0, ds.Truth[0].Path[0]); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("push after Shutdown = %v, want ErrManagerClosed", err)
+	}
+	if m.Active() != 0 {
+		t.Fatalf("%d sessions open after Shutdown", m.Active())
+	}
+	// Every accepted session landed; the store reopens cleanly.
+	if st.Len() != vehicles {
+		t.Fatalf("store has %d records, want %d", st.Len(), vehicles)
+	}
+	dir := st.Dir()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("store unreadable after shutdown: %v", err)
+	}
+	defer st2.Close()
+	for i := 0; i < vehicles; i++ {
+		want, err := comp.Compress(ds.Truth[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st2.Get(uint64(i))
+		if err != nil {
+			t.Fatalf("vehicle %d after reopen: %v", i, err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("vehicle %d: bytes differ after reopen", i)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// Cancelling the lifetime context discards open sessions; what the sink
+// already holds stays readable.
+func TestLifetimeCancelDiscards(t *testing.T) {
+	comp, ds, st := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	m, err := NewManager(ctx, comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, 1, ds.Truth[1])
+	if err := m.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, 2, ds.Truth[2]) // left open, will be discarded
+	cancel()
+	if err := m.PushEdge(3, ds.Truth[3].Path[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("push after cancel = %v, want context.Canceled", err)
+	}
+	if err := m.Shutdown(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown after cancel = %v, want context.Canceled", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store has %d records, want only the pre-cancel flush", st.Len())
+	}
+	if _, err := st.Get(1); err != nil {
+		t.Fatalf("pre-cancel record unreadable: %v", err)
+	}
+}
+
+// An edge outside the codebook alphabet surfaces at flush time and must not
+// wedge the session map.
+func TestFlushErrorSurfaces(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	bad := roadnet.EdgeID(comp.Graph.NumEdges() + 1)
+	if err := m.PushEdge(9, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(9); err == nil {
+		t.Fatal("flush of an invalid path succeeded")
+	}
+	if m.Active() != 0 {
+		t.Fatal("failed session left open")
+	}
+	// The manager keeps serving other vehicles.
+	feed(t, m, 10, ds.Truth[0])
+	if err := m.Flush(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failAppendSink rejects every append.
+type failAppendSink struct{}
+
+func (failAppendSink) Append(uint64, *core.Compressed) error {
+	return errors.New("sink down")
+}
+
+// Background idle-sweep flush failures reach the OnError observer and the
+// first one surfaces from Shutdown.
+func TestSweepFlushErrorObserved(t *testing.T) {
+	comp, ds, _ := fixture(t)
+	var mu sync.Mutex
+	var seen []uint64
+	m, err := NewManager(context.Background(), comp, failAppendSink{}, Options{
+		IdleFlush:  30 * time.Millisecond,
+		SweepEvery: 10 * time.Millisecond,
+		OnError: func(id uint64, err error) {
+			mu.Lock()
+			seen = append(seen, id)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, 5, ds.Truth[0])
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	if len(seen) == 0 || seen[0] != 5 {
+		mu.Unlock()
+		t.Fatal("sweep flush failure never reached OnError")
+	}
+	mu.Unlock()
+	if err := m.Shutdown(context.Background()); err == nil {
+		t.Fatal("Shutdown swallowed the background flush failure")
+	}
+}
+
+// slowSink delays every append; used to race session visibility against
+// the sink write.
+type slowSink struct {
+	st *store.ShardedStore
+}
+
+func (s slowSink) Append(id uint64, ct *core.Compressed) error {
+	time.Sleep(20 * time.Millisecond)
+	return s.st.Append(id, ct)
+}
+
+// Active() must not report a session gone until its record is actually in
+// the sink: a consumer that waits for Active()==0 and then reads the store
+// must always find the record.
+func TestFlushVisibleBeforeSessionDisappears(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, slowSink{st}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	feed(t, m, 42, ds.Truth[0])
+	done := make(chan error, 1)
+	go func() { done <- m.Flush(42) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Active() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Active() != 0 {
+		t.Fatal("flush never completed")
+	}
+	// The instant the session count hits zero the record must be readable.
+	if _, err := st.Get(42); err != nil {
+		t.Fatalf("Active()==0 but record not in the sink yet: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// After an external lifetime cancel, Flush/FlushAll must refuse instead of
+// persisting sessions the hard stop discarded.
+func TestFlushRefusesAfterLifetimeCancel(t *testing.T) {
+	comp, ds, st := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	m, err := NewManager(ctx, comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, 4, ds.Truth[4])
+	cancel()
+	if err := m.Flush(4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flush after cancel = %v, want context.Canceled", err)
+	}
+	if err := m.FlushAll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FlushAll after cancel = %v, want context.Canceled", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("discarded session reached the store (%d records)", st.Len())
+	}
+	if err := m.Shutdown(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown after cancel = %v", err)
+	}
+}

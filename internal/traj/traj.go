@@ -217,6 +217,31 @@ func (t *Trajectory) PositionAt(g *roadnet.Graph, tx float64) geo.Point {
 	return g.PointAlongPath([]roadnet.EdgeID(t.Path), t.Temporal.Dis(tx))
 }
 
+// Replay streams the trajectory the way a live vehicle reports it: edges
+// and temporal samples interleaved one-for-one (then whichever stream is
+// longer finishes). Every consumer of the online codec — tests, benches,
+// examples — replays through here so they all exercise the same
+// interleaving. The first non-nil callback error stops the replay and is
+// returned.
+func (t *Trajectory) Replay(edge func(roadnet.EdgeID) error, sample func(Entry) error) error {
+	ei, si := 0, 0
+	for ei < len(t.Path) || si < len(t.Temporal) {
+		if ei < len(t.Path) {
+			if err := edge(t.Path[ei]); err != nil {
+				return err
+			}
+			ei++
+		}
+		if si < len(t.Temporal) {
+			if err := sample(t.Temporal[si]); err != nil {
+				return err
+			}
+			si++
+		}
+	}
+	return nil
+}
+
 // Reformat is the trajectory re-formatter: it takes a map-matched spatial
 // path and the raw samples, projects every sample onto the path and emits
 // the (d_i, t_i) temporal sequence. Projections are forced to be monotone

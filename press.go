@@ -22,7 +22,11 @@
 // over a configurable worker pool with per-item error reporting, and
 // NewPipeline / IngestGPS stream raw GPS through match -> reformat ->
 // compress on bounded channels with backpressure — in both cases the output
-// is byte-identical to the serial path regardless of worker count.
+// is byte-identical to the serial path regardless of worker count. The
+// pipelines are context-aware (cancellation, graceful Shutdown, adaptive
+// worker sizing), and NewStreamIngestor opens the live path: per-vehicle
+// sessions compress points online (§7.2) and flush finished trajectories
+// to a sharded fleet store.
 //
 // The System type bundles the full pipeline — map matcher, re-formatter,
 // compressor and query processor — behind one handle:
@@ -38,9 +42,11 @@
 package press
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"press/internal/core"
 	"press/internal/gen"
@@ -51,6 +57,7 @@ import (
 	"press/internal/roadnet"
 	"press/internal/spindex"
 	"press/internal/store"
+	"press/internal/stream"
 	"press/internal/traj"
 )
 
@@ -126,6 +133,17 @@ type Config struct {
 	// let more pipeline tails append concurrently; shard assignment is a
 	// stable hash of the trajectory id, so readers need no coordination.
 	StoreShards int
+	// MinWorkers and MaxWorkers make pipelines created through this system
+	// adaptive: the pool starts at MinWorkers (default 1) and grows toward
+	// MaxWorkers while the ingest queue stays deep, shrinking back when the
+	// feed goes quiet. MaxWorkers = 0 keeps the fixed-size pool behavior.
+	// An explicit workers argument on an Ingest call overrides both.
+	MinWorkers int
+	MaxWorkers int
+	// SessionIdleFlush auto-flushes a live stream-ingest session after this
+	// long without a push (0 = sessions end only on explicit flush). See
+	// NewStreamIngestor.
+	SessionIdleFlush time.Duration
 }
 
 // DefaultConfig returns the paper's defaults: θ = 3, zero-error temporal
@@ -241,27 +259,63 @@ func (s *System) CompressBatch(trs []*Trajectory, workers int) ([]*Compressed, [
 // arrive in submission order. See internal/pipeline for the full contract.
 type Pipeline = pipeline.Pipeline
 
-// PipelineOptions tunes a streaming Pipeline (worker count, buffer size).
+// PipelineOptions tunes a streaming Pipeline (worker pool bounds, buffer
+// size).
 type PipelineOptions = pipeline.Options
 
 // PipelineResult is the per-trajectory outcome of a Pipeline.
 type PipelineResult = pipeline.Result
 
+// ErrPipelineClosed is returned by Pipeline.Submit after Close/Shutdown.
+var ErrPipelineClosed = pipeline.ErrClosed
+
+// pipelineOptions resolves the pool shape for an ingest call: an explicit
+// worker count gives a fixed pool; otherwise the Config's adaptive bounds
+// (if any) apply.
+func (s *System) pipelineOptions(workers int) PipelineOptions {
+	if workers > 0 || s.cfg.MaxWorkers <= 0 {
+		return PipelineOptions{Workers: workers}
+	}
+	return PipelineOptions{MinWorkers: s.cfg.MinWorkers, MaxWorkers: s.cfg.MaxWorkers}
+}
+
 // NewPipeline starts a streaming ingest pipeline over this system's matcher
-// and compressor. Submit raw trajectories, consume Results concurrently:
+// and compressor with a background lifetime context; use
+// NewPipelineContext to bound it. Submit raw trajectories, consume Results
+// concurrently:
 //
-//	p, _ := sys.NewPipeline(press.PipelineOptions{Workers: 8})
-//	go func() { for _, r := range feed { p.Submit(r) }; p.Close() }()
+//	p, _ := sys.NewPipeline(press.PipelineOptions{MinWorkers: 1, MaxWorkers: 8})
+//	go func() {
+//		for _, r := range feed {
+//			if _, err := p.Submit(ctx, r); err != nil { break }
+//		}
+//		p.Shutdown(ctx)
+//	}()
 //	for res := range p.Results() { ... }
 func (s *System) NewPipeline(opt PipelineOptions) (*Pipeline, error) {
-	return pipeline.New(s.matcher, s.compressor, opt)
+	return pipeline.New(context.Background(), s.matcher, s.compressor, opt)
+}
+
+// NewPipelineContext is NewPipeline with an explicit lifetime context:
+// cancelling ctx discards queued work and closes Results promptly (use
+// Pipeline.Shutdown for a graceful, deadline-bounded drain).
+func (s *System) NewPipelineContext(ctx context.Context, opt PipelineOptions) (*Pipeline, error) {
+	return pipeline.New(ctx, s.matcher, s.compressor, opt)
 }
 
 // IngestGPS pushes a batch of raw GPS trajectories through the full
 // paralleled pipeline (match -> reformat -> compress) and returns one result
-// per input, in input order, with per-item errors (no fail-fast).
+// per input, in input order, with per-item errors (no fail-fast). workers
+// <= 0 uses the Config's adaptive pool bounds when set, else GOMAXPROCS.
 func (s *System) IngestGPS(raws []RawTrajectory, workers int) ([]PipelineResult, error) {
-	return pipeline.Run(s.matcher, s.compressor, raws, PipelineOptions{Workers: workers})
+	return s.IngestGPSContext(context.Background(), raws, workers)
+}
+
+// IngestGPSContext is IngestGPS bound to a context: cancellation stops the
+// batch early, marks unprocessed items' Results with the cancellation cause
+// and returns it as the error alongside the partial results.
+func (s *System) IngestGPSContext(ctx context.Context, raws []RawTrajectory, workers int) ([]PipelineResult, error) {
+	return pipeline.RunContext(ctx, s.matcher, s.compressor, raws, s.pipelineOptions(workers))
 }
 
 // IngestGPSToStore is IngestGPS with a storage tail: successfully compressed
@@ -272,7 +326,14 @@ func (s *System) IngestGPS(raws []RawTrajectory, workers int) ([]PipelineResult,
 // storage stage that keeps up with the parallel pipeline, use a sharded
 // store and IngestGPSToShardedStore.
 func (s *System) IngestGPSToStore(st *FleetStore, raws []RawTrajectory, workers int) (results []PipelineResult, ids []int, err error) {
-	return pipeline.RunToStore(s.matcher, s.compressor, st, raws, PipelineOptions{Workers: workers})
+	return s.IngestGPSToStoreContext(context.Background(), st, raws, workers)
+}
+
+// IngestGPSToStoreContext is IngestGPSToStore bound to a context;
+// cancellation semantics match IngestGPSContext, with unprocessed items
+// mapped to id -1.
+func (s *System) IngestGPSToStoreContext(ctx context.Context, st *FleetStore, raws []RawTrajectory, workers int) (results []PipelineResult, ids []int, err error) {
+	return pipeline.RunToStoreContext(ctx, s.matcher, s.compressor, st, raws, s.pipelineOptions(workers))
 }
 
 // IngestGPSToShardedStore is IngestGPS with a concurrent storage tail: one
@@ -283,15 +344,63 @@ func (s *System) IngestGPSToStore(st *FleetStore, raws []RawTrajectory, workers 
 // append like any other per-item failure; fetch stored records with
 // st.Get(uint64(i)).
 func (s *System) IngestGPSToShardedStore(st *ShardedFleetStore, raws []RawTrajectory, workers int) ([]PipelineResult, error) {
+	return s.IngestGPSToShardedStoreContext(context.Background(), st, raws, workers)
+}
+
+// IngestGPSToShardedStoreContext is IngestGPSToShardedStore bound to a
+// context; cancellation semantics match IngestGPSContext.
+func (s *System) IngestGPSToShardedStoreContext(ctx context.Context, st *ShardedFleetStore, raws []RawTrajectory, workers int) ([]PipelineResult, error) {
 	resolved := workers
 	if resolved <= 0 {
-		resolved = runtime.GOMAXPROCS(0) // mirror pipeline.New's default
+		if s.cfg.MaxWorkers > 0 {
+			resolved = s.cfg.MaxWorkers
+		} else {
+			resolved = runtime.GOMAXPROCS(0) // mirror pipeline.New's default
+		}
 	}
 	tails := st.Shards()
 	if tails > resolved {
 		tails = resolved
 	}
-	return pipeline.RunToShardedStore(s.matcher, s.compressor, st, raws, PipelineOptions{Workers: workers}, tails)
+	return pipeline.RunToShardedStoreContext(ctx, s.matcher, s.compressor, st, raws, s.pipelineOptions(workers), tails)
+}
+
+// StreamIngestor is the live per-vehicle session layer: push edges and
+// (d, t) samples as vehicles report them, and finished trajectories are
+// compressed online and flushed to a store keyed by vehicle id. See
+// internal/stream for the full contract.
+type StreamIngestor = stream.Manager
+
+// StreamSink receives finished session records keyed by trajectory id; a
+// ShardedFleetStore satisfies it.
+type StreamSink = stream.Sink
+
+// StreamOptions tunes a StreamIngestor.
+type StreamOptions = stream.Options
+
+// ErrStreamClosed is returned by StreamIngestor pushes after Shutdown.
+var ErrStreamClosed = stream.ErrManagerClosed
+
+// NewStreamIngestor opens the live ingest path over this system's online
+// codec: per-vehicle sessions keyed by trajectory id, each compressing
+// edges and samples the moment their windows close, flushed to sink on
+// explicit Flush, on Shutdown, or automatically after
+// Config.SessionIdleFlush without a push. The flushed records are
+// byte-identical to what the batch pipeline would have produced for the
+// same trajectories. ctx is the ingestor's lifetime; cancelling it
+// discards open sessions (flushed records stay).
+func (s *System) NewStreamIngestor(ctx context.Context, sink StreamSink) (*StreamIngestor, error) {
+	return s.NewStreamIngestorOptions(ctx, sink, StreamOptions{})
+}
+
+// NewStreamIngestorOptions is NewStreamIngestor with explicit stream
+// options (sweep cadence, background flush-error observer). A zero
+// IdleFlush falls back to Config.SessionIdleFlush.
+func (s *System) NewStreamIngestorOptions(ctx context.Context, sink StreamSink, opt StreamOptions) (*StreamIngestor, error) {
+	if opt.IdleFlush == 0 {
+		opt.IdleFlush = s.cfg.SessionIdleFlush
+	}
+	return stream.NewManager(ctx, s.compressor, sink, opt)
 }
 
 // Decompress recovers a trajectory: the spatial path is exactly the
@@ -379,6 +488,20 @@ func OpenFleetStore(path string) (*FleetStore, error) { return store.Open(path) 
 // segment files by trajectory id, safe for concurrent appends and reads
 // (see internal/store for the on-disk layout and recovery semantics).
 type ShardedFleetStore = store.ShardedStore
+
+// SyncPolicy controls when sharded-store appends reach stable storage;
+// install one with ShardedFleetStore.SetSyncPolicy.
+type SyncPolicy = store.SyncPolicy
+
+// SyncNever relies on the OS page cache (the default; fastest).
+var SyncNever = store.SyncNever
+
+// SyncAlways fsyncs the written shard after every append.
+var SyncAlways = store.SyncAlways
+
+// SyncInterval fsyncs a shard after every n appends to it (n <= 0 =
+// never): at most n-1 records per shard ride in the page cache.
+func SyncInterval(n int) SyncPolicy { return store.SyncInterval(n) }
 
 // CreateShardedFleetStore makes a new empty sharded fleet container
 // directory with the given shard count (minimum 1).

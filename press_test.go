@@ -2,8 +2,11 @@ package press
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // buildSystem generates a small dataset and a System trained on half of it.
@@ -430,5 +433,133 @@ func TestFleetIndexFacade(t *testing.T) {
 	}
 	if len(all) != len(cts) {
 		t.Errorf("whole-net query returned %d of %d", len(all), len(cts))
+	}
+}
+
+// The live stream-ingest facade: per-vehicle sessions flushed to a sharded
+// fleet store must be byte-identical to the batch path, idle sessions must
+// auto-flush, and shutdown must leave the store readable.
+func TestStreamIngestorFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSND, cfg.NSTD = 50, 30
+	cfg.StoreShards = 4
+	cfg.SessionIdleFlush = 40 * time.Millisecond
+	sys, ds := buildSystem(t, cfg)
+	st, err := sys.NewFleetStore(t.TempDir() + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ing, err := sys.NewStreamIngestor(context.Background(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vehicle 0: explicit flush.
+	tr := ds.Truth[0]
+	for _, e := range tr.Path {
+		if err := ing.PushEdge(0, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range tr.Temporal {
+		if err := ing.PushSample(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Compress(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), want.Marshal()) {
+		t.Fatal("stream-ingested bytes differ from batch compression")
+	}
+	// Vehicle 1: goes dark, Config.SessionIdleFlush must flush it.
+	tr1 := ds.Truth[1]
+	for _, e := range tr1.Path {
+		if err := ing.PushEdge(1, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range tr1.Temporal {
+		if err := ing.PushSample(1, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for ing.Active() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ing.Active() != 0 {
+		t.Fatal("idle session never auto-flushed through the facade")
+	}
+	if _, err := st.Get(1); err != nil {
+		t.Fatalf("idle-flushed record unreadable: %v", err)
+	}
+	if err := ing.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.PushEdge(2, tr.Path[0]); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("push after Shutdown = %v, want ErrStreamClosed", err)
+	}
+}
+
+// Context-taking ingest variants: cancellation surfaces without losing the
+// per-item Result shape.
+func TestIngestGPSContextCancel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSND, cfg.NSTD = 50, 30
+	sys, ds := buildSystem(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := sys.IngestGPSContext(ctx, ds.Raws[:8], 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("IngestGPSContext = %v, want context.Canceled", err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results for 8 inputs", len(results))
+	}
+	// The uncancelled variant still drains fully.
+	results, err = sys.IngestGPSContext(context.Background(), ds.Raws[:8], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+	}
+}
+
+// Config.MinWorkers/MaxWorkers flow through to pipelines created without an
+// explicit worker count.
+func TestAdaptivePoolConfigFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSND, cfg.NSTD = 50, 30
+	cfg.MinWorkers, cfg.MaxWorkers = 1, 3
+	sys, ds := buildSystem(t, cfg)
+	p, err := sys.NewPipeline(sys.pipelineOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("adaptive pipeline started with %d workers, want MinWorkers=1", got)
+	}
+	go p.Close()
+	for range p.Results() {
+	}
+	// Explicit worker counts still win.
+	results, err := sys.IngestGPS(ds.Raws[:4], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
 	}
 }
