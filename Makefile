@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench fuzz ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench fuzz ci
 
 all: ci
 
@@ -31,10 +31,16 @@ benchsmoke:
 streambench:
 	$(GO) run ./cmd/pressbench -fig streambench
 
-# Short fuzz smoke: keeps the harness from bit-rotting. FUZZTIME=5m for a
+# The SP snapshot scenario: precompute-vs-mmap-open latency and lookup
+# throughput heap vs mapped.
+spbench:
+	$(GO) run ./cmd/pressbench -fig spbench
+
+# Short fuzz smoke: keeps the harnesses from bit-rotting. FUZZTIME=5m for a
 # real session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -fuzz=FuzzSnapshotOpen -fuzztime=$(FUZZTIME) ./internal/spindex
 
 ci: build vet race benchsmoke fuzz

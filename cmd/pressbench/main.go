@@ -27,12 +27,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"math/rand"
+	"path/filepath"
+
 	"press/internal/core"
 	"press/internal/experiments"
 	"press/internal/mapmatch"
 	"press/internal/pipeline"
 	"press/internal/query"
 	"press/internal/roadnet"
+	"press/internal/spindex"
 	"press/internal/store"
 	"press/internal/stream"
 	"press/internal/traj"
@@ -65,7 +69,8 @@ func main() {
 	// storebench/streambench touch few distinct rows (lazy rows suffice),
 	// so runs of just those skip the O(|E|^2) cost.
 	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") ||
-		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench")) {
+		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench") ||
+		strings.EqualFold(*fig, "spbench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -157,6 +162,9 @@ func main() {
 		{"streambench", func() error {
 			return runStreamBenchScenario(env)
 		}},
+		{"spbench", func() error {
+			return runSPBenchScenario(env, *workers)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -180,7 +188,7 @@ func main() {
 var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
-	"storebench", "streambench",
+	"storebench", "streambench", "spbench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -411,6 +419,77 @@ func runStreamBenchScenario(env *experiments.Env) error {
 			float64(points)/elapsed.Seconds(), rate, rate/base)
 	}
 	fmt.Println()
+	return nil
+}
+
+// runSPBenchScenario measures what the mmap'd SP snapshot buys: the one-time
+// cost of materializing the all-pair table (precompute + save) against the
+// per-boot cost of memory-mapping the snapshot back, then per-lookup
+// throughput and memory residency of the two SP sources. Opening the
+// snapshot does CRC validation but zero Dijkstra work, so "open(mapped)"
+// stays flat in the network size where "precompute" grows O(|E|^2 log |E|).
+func runSPBenchScenario(env *experiments.Env, workers int) error {
+	g := env.DS.Graph
+	tab := spindex.NewTable(g)
+	t0 := time.Now()
+	tab.PrecomputeAllParallel(workers)
+	precompute := time.Since(t0)
+
+	dir, err := os.MkdirTemp("", "press-spbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sp.snap")
+	t0 = time.Now()
+	if err := tab.SaveSnapshot(path); err != nil {
+		return err
+	}
+	save := time.Since(t0)
+	t0 = time.Now()
+	snap, err := spindex.OpenMapped(path, g)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	open := time.Since(t0)
+	if snap.CachedRows() != 0 {
+		return fmt.Errorf("spbench: mapped snapshot computed %d rows", snap.CachedRows())
+	}
+
+	fmt.Println("spbench: SP table build/open cost and lookup throughput, heap vs mapped")
+	fmt.Printf("%-24s %12s\n", "phase", "elapsed")
+	fmt.Printf("%-24s %12v   (%d rows, %d workers)\n", "precompute (heap)",
+		precompute.Round(time.Microsecond), tab.CachedRows(), workers)
+	fmt.Printf("%-24s %12v\n", "save snapshot", save.Round(time.Microsecond))
+	fmt.Printf("%-24s %12v   (no Dijkstra; CRC-validated)\n", "open (mapped)",
+		open.Round(time.Microsecond))
+	speedup := float64(precompute) / float64(open)
+	fmt.Printf("%-24s %11.0fx\n", "reopen speedup", speedup)
+
+	// Lookup throughput: identical random probe sequences against both
+	// sources (Dist + SPEnd per probe, the compression hot path).
+	n := g.NumEdges()
+	const probes = 2_000_000
+	bench := func(sp spindex.SP) float64 {
+		rng := rand.New(rand.NewSource(42))
+		t0 := time.Now()
+		var sink float64
+		for i := 0; i < probes; i++ {
+			a := roadnet.EdgeID(rng.Intn(n))
+			b := roadnet.EdgeID(rng.Intn(n))
+			sink += sp.Dist(a, b)
+			sink += float64(sp.SPEnd(a, b))
+		}
+		_ = sink
+		return float64(probes) / time.Since(t0).Seconds()
+	}
+	heapRate := bench(tab)
+	mappedRate := bench(snap)
+	fmt.Printf("\n%-24s %14s %14s\n", "source", "lookups/s", "resident bytes")
+	fmt.Printf("%-24s %14.0f %14d   (Go heap)\n", "Table (heap)", heapRate, tab.MemoryBytes())
+	fmt.Printf("%-24s %14.0f %14d   (page cache, shared)\n", "Snapshot (mapped)", mappedRate, snap.MappedBytes())
+	fmt.Printf("mapped/heap lookup ratio: %.2fx\n\n", mappedRate/heapRate)
 	return nil
 }
 

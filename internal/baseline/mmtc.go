@@ -23,7 +23,7 @@ import (
 // what makes MMTC two orders of magnitude slower than PRESS in Fig. 13(a).
 type MMTC struct {
 	G  *roadnet.Graph
-	SP *spindex.Table
+	SP spindex.SP
 }
 
 // MMTCCompressed is an MMTC-compressed trajectory: the replacement

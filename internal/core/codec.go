@@ -19,7 +19,7 @@ import (
 // turns re-formatted trajectories into Compressed records and back.
 type Compressor struct {
 	Graph *roadnet.Graph
-	SP    *spindex.Table
+	SP    spindex.SP
 	CB    *Codebook
 	Tau   float64 // maximal tolerated TSND, meters
 	Eta   float64 // maximal tolerated NSTD, seconds
@@ -27,7 +27,7 @@ type Compressor struct {
 
 // NewCompressor assembles a compressor. Tau and Eta may be zero for the
 // strictest temporal bounds.
-func NewCompressor(g *roadnet.Graph, sp *spindex.Table, cb *Codebook, tau, eta float64) (*Compressor, error) {
+func NewCompressor(g *roadnet.Graph, sp spindex.SP, cb *Codebook, tau, eta float64) (*Compressor, error) {
 	if g == nil || sp == nil || cb == nil {
 		return nil, errors.New("core: nil component")
 	}

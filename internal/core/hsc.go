@@ -10,12 +10,12 @@ import (
 // result with the FST codebook. Both stages and their inverses are O(|T|),
 // and the whole pipeline is lossless.
 type HSC struct {
-	SP *spindex.Table
+	SP spindex.SP
 	CB *Codebook
 }
 
 // NewHSC bundles a shortest-path table and a trained codebook.
-func NewHSC(sp *spindex.Table, cb *Codebook) *HSC { return &HSC{SP: sp, CB: cb} }
+func NewHSC(sp spindex.SP, cb *Codebook) *HSC { return &HSC{SP: sp, CB: cb} }
 
 // Compress runs both stages on a full spatial path.
 func (h *HSC) Compress(path traj.Path) (*SpatialCode, error) {

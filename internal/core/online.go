@@ -19,7 +19,7 @@ import (
 // traverses them; retained edges are emitted as soon as the shortest-path
 // window breaks. Flush emits the final edge.
 type OnlineSP struct {
-	sp     *spindex.Table
+	sp     spindex.SP
 	anchor roadnet.EdgeID
 	prev   roadnet.EdgeID
 	n      int
@@ -28,7 +28,7 @@ type OnlineSP struct {
 
 // NewOnlineSP creates a streaming SP compressor; emit receives each
 // retained edge in order.
-func NewOnlineSP(sp *spindex.Table, emit func(roadnet.EdgeID)) *OnlineSP {
+func NewOnlineSP(sp spindex.SP, emit func(roadnet.EdgeID)) *OnlineSP {
 	return &OnlineSP{sp: sp, anchor: roadnet.NoEdge, prev: roadnet.NoEdge, emit: emit}
 }
 

@@ -16,7 +16,7 @@ import (
 // of edges that exactly follows the canonical shortest path between its two
 // endpoints is replaced by those endpoints. The greedy strategy is optimal
 // (Theorem 1). The input must be a connected edge path.
-func SPCompress(t *spindex.Table, path traj.Path) traj.Path {
+func SPCompress(t spindex.SP, path traj.Path) traj.Path {
 	n := len(path)
 	if n <= 2 {
 		return path.Clone()
@@ -37,7 +37,7 @@ func SPCompress(t *spindex.Table, path traj.Path) traj.Path {
 // are not adjacent in the network are bridged by the canonical shortest path
 // between them. It fails if some pair is mutually unreachable, which cannot
 // happen for outputs of SPCompress on valid paths.
-func SPDecompress(t *spindex.Table, compressed traj.Path) (traj.Path, error) {
+func SPDecompress(t spindex.SP, compressed traj.Path) (traj.Path, error) {
 	if len(compressed) == 0 {
 		return nil, errors.New("core: empty compressed path")
 	}
@@ -63,7 +63,7 @@ func SPDecompress(t *spindex.Table, compressed traj.Path) (traj.Path, error) {
 // subsets, the minimum possible length of an SP-compressed form of path. It
 // exists to validate Theorem 1 in tests and is exported to the test file
 // only through its lowercase name.
-func spOptimalBruteForce(t *spindex.Table, path traj.Path) int {
+func spOptimalBruteForce(t spindex.SP, path traj.Path) int {
 	n := len(path)
 	if n <= 2 {
 		return n
@@ -88,7 +88,7 @@ func spOptimalBruteForce(t *spindex.Table, path traj.Path) int {
 
 // pathEqualsSP reports whether the edge run is exactly the canonical
 // shortest path between its endpoints.
-func pathEqualsSP(t *spindex.Table, run traj.Path) bool {
+func pathEqualsSP(t spindex.SP, run traj.Path) bool {
 	sp := t.Path(run[0], run[len(run)-1])
 	if len(sp) != len(run) {
 		return false

@@ -46,14 +46,14 @@ func DefaultOptions() Options {
 // share one Matcher instead of cloning it.
 type Matcher struct {
 	g    *roadnet.Graph
-	sp   *spindex.Table
+	sp   spindex.SP
 	opt  Options
 	grid *edgeGrid
 }
 
 // New builds a matcher over the network using the given shortest-path table
 // for route distances.
-func New(g *roadnet.Graph, sp *spindex.Table, opt Options) (*Matcher, error) {
+func New(g *roadnet.Graph, sp spindex.SP, opt Options) (*Matcher, error) {
 	if opt.CandidateRadius <= 0 || opt.Sigma <= 0 || opt.Beta <= 0 {
 		return nil, errors.New("mapmatch: radius, sigma and beta must be positive")
 	}

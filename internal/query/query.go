@@ -36,7 +36,7 @@ import (
 // trajectories. It is safe for concurrent use.
 type Engine struct {
 	g  *roadnet.Graph
-	sp *spindex.Table
+	sp spindex.SP
 	cb *core.Codebook
 
 	nodeDist  []float64          // per trie node: length of the decompressed piece
@@ -53,7 +53,7 @@ type Engine struct {
 type gapKey struct{ a, b roadnet.EdgeID }
 
 // NewEngine precomputes the per-node auxiliary structures.
-func NewEngine(g *roadnet.Graph, sp *spindex.Table, cb *core.Codebook) (*Engine, error) {
+func NewEngine(g *roadnet.Graph, sp spindex.SP, cb *core.Codebook) (*Engine, error) {
 	if g == nil || sp == nil || cb == nil {
 		return nil, errors.New("query: nil component")
 	}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package spindex
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapReadOnly maps size bytes of f read-only and shared, so every process
+// mapping the same snapshot file shares one physical copy via the page
+// cache. The returned release function unmaps.
+func mmapReadOnly(f *os.File, size int) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,420 @@
+package spindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"press/internal/roadnet"
+)
+
+// Snapshot file layout (little endian):
+//
+//	 0  magic "PRSP"
+//	 4  u32 format version (1)
+//	 8  u64 graph fingerprint (GraphFingerprint of the network)
+//	16  u32 edge count |E|
+//	20  u32 row count (source rows serialized)
+//	24  u32 crc32(bytes [0, 24))                         — header CRC
+//	28  index: |E| u64 absolute file offsets (0 = row absent)
+//	28 + 8|E|  u32 crc32(index bytes)                    — index CRC
+//	32 + 8|E|  rows, ascending source id, each:
+//	    u32 crc32(payload) | payload: |E| i32 pred (SPend links, -1 = NoEdge)
+//	                                  followed by |E| f64 dist
+//
+// Every section is CRC-protected like the v2 store records, so OpenMapped
+// distinguishes a snapshot that was cut short (truncation → ErrBadSnapshot)
+// from one written against a different network (ErrSnapshotMismatch) and
+// never serves silently damaged rows.
+
+// Typed snapshot failure modes; match with errors.Is.
+var (
+	// ErrBadSnapshot means the file is not a valid SP snapshot: wrong magic,
+	// unsupported version, truncated, or a CRC mismatch in the header, the
+	// row index or a row payload.
+	ErrBadSnapshot = errors.New("spindex: bad snapshot")
+	// ErrSnapshotMismatch means the snapshot is internally consistent but
+	// was written for a different road network than the one it is being
+	// opened against (graph fingerprint or edge count disagree).
+	ErrSnapshotMismatch = errors.New("spindex: snapshot does not match graph")
+)
+
+var snapshotMagic = [4]byte{'P', 'R', 'S', 'P'}
+
+const (
+	snapshotVersion = 1
+	snapHeaderLen   = 24 // magic + version + fingerprint + |E| + rows
+	snapIndexStart  = snapHeaderLen + 4
+)
+
+// GraphFingerprint hashes the shortest-path-relevant structure of a network:
+// vertex/edge counts and every edge's (From, To, Weight). Geometry is
+// excluded — it never influences SP rows. Two graphs with equal fingerprints
+// produce identical snapshots.
+func GraphFingerprint(g *roadnet.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put32(uint32(g.NumVertices()))
+	put32(uint32(g.NumEdges()))
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		put32(uint32(e.From))
+		put32(uint32(e.To))
+		put64(math.Float64bits(e.Weight))
+	}
+	return h.Sum64()
+}
+
+// materializedRows returns the currently cached rows sorted by source id.
+// Rows are immutable once stored, so the returned slices may be read without
+// further locking.
+func (t *Table) materializedRows() (srcs []roadnet.EdgeID, preds [][]roadnet.EdgeID, dists [][]float64) {
+	t.mu.RLock()
+	srcs = make([]roadnet.EdgeID, 0, len(t.pred))
+	for src := range t.pred {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	preds = make([][]roadnet.EdgeID, len(srcs))
+	dists = make([][]float64, len(srcs))
+	for i, src := range srcs {
+		preds[i] = t.pred[src]
+		dists[i] = t.dist[src]
+	}
+	t.mu.RUnlock()
+	return srcs, preds, dists
+}
+
+// WriteSnapshot serializes every currently materialized row into the
+// versioned flat snapshot format. Call PrecomputeAll first for a snapshot
+// that serves every source without fallback Dijkstra work. The output is
+// deterministic for a given set of materialized rows.
+func (t *Table) WriteSnapshot(w io.Writer) (int64, error) {
+	srcs, preds, dists := t.materializedRows()
+	n := t.g.NumEdges()
+	rowLen := int64(4 + 12*n) // crc + n*i32 pred + n*f64 dist
+
+	header := make([]byte, snapIndexStart)
+	copy(header[:4], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(header[8:16], GraphFingerprint(t.g))
+	binary.LittleEndian.PutUint32(header[16:20], uint32(n))
+	binary.LittleEndian.PutUint32(header[20:24], uint32(len(srcs)))
+	binary.LittleEndian.PutUint32(header[24:28], crc32.ChecksumIEEE(header[:snapHeaderLen]))
+
+	index := make([]byte, 8*n)
+	rowsStart := int64(snapIndexStart + 8*n + 4)
+	for i, src := range srcs {
+		off := rowsStart + int64(i)*rowLen
+		binary.LittleEndian.PutUint64(index[8*int(src):], uint64(off))
+	}
+
+	var written int64
+	emit := func(b []byte) error {
+		c, err := w.Write(b)
+		written += int64(c)
+		return err
+	}
+	if err := emit(header); err != nil {
+		return written, err
+	}
+	if err := emit(index); err != nil {
+		return written, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(index))
+	if err := emit(crcBuf[:]); err != nil {
+		return written, err
+	}
+	payload := make([]byte, 12*n)
+	for i := range srcs {
+		for j, p := range preds[i] {
+			binary.LittleEndian.PutUint32(payload[4*j:], uint32(int32(p)))
+		}
+		base := 4 * n
+		for j, d := range dists[i] {
+			binary.LittleEndian.PutUint64(payload[base+8*j:], math.Float64bits(d))
+		}
+		binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+		if err := emit(crcBuf[:]); err != nil {
+			return written, err
+		}
+		if err := emit(payload); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// SaveSnapshot writes the snapshot to path atomically (temp file + rename),
+// so readers never observe a half-written snapshot.
+func (t *Table) SaveSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".sp-snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp's 0600 would survive the rename and block the whole point
+	// of the snapshot — other processes mapping it; match the store files.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := t.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Snapshot serves SP lookups from a read-only snapshot file, normally
+// memory-mapped by OpenMapped: the rows live in the OS page cache, shared by
+// every process that maps the same file, and none of them re-runs Dijkstra.
+// A source edge whose row is absent from the file (the snapshot was written
+// from a partially materialized table) falls back to an internal lazily
+// computed Table; CachedRows reports how many fallback rows exist (0 for a
+// full snapshot, however many lookups forced computation otherwise).
+//
+// A Snapshot is safe for concurrent use and must not be used after Close.
+type Snapshot struct {
+	g        *roadnet.Graph
+	data     []byte
+	n        int // edge count
+	rows     int // rows present in the file
+	unmap    func() error
+	fallback *Table
+}
+
+// OpenMapped maps the snapshot at path read-only and validates it fully
+// against g: magic, version, header/index/row CRCs, per-pred range checks
+// and the graph fingerprint. Validation is a sequential read (no Dijkstra
+// work); damage surfaces as ErrBadSnapshot, a snapshot written for a
+// different network as ErrSnapshotMismatch.
+func OpenMapped(path string, g *roadnet.Graph) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < snapIndexStart {
+		return nil, fmt.Errorf("%w: file %d bytes, want at least %d", ErrBadSnapshot, size, snapIndexStart)
+	}
+	data, unmap, err := mmapReadOnly(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("spindex: mapping snapshot: %w", err)
+	}
+	s, err := parseSnapshot(data, g)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	s.unmap = unmap
+	return s, nil
+}
+
+// parseSnapshot validates the snapshot bytes against g and builds the
+// Snapshot view over them. It is the single decoder: OpenMapped feeds it the
+// mapping, FuzzSnapshotOpen feeds it raw fuzz bytes.
+func parseSnapshot(data []byte, g *roadnet.Graph) (*Snapshot, error) {
+	if len(data) < snapIndexStart {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadSnapshot, len(data))
+	}
+	if !(data[0] == snapshotMagic[0] && data[1] == snapshotMagic[1] &&
+		data[2] == snapshotMagic[2] && data[3] == snapshotMagic[3]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, v)
+	}
+	if got := binary.LittleEndian.Uint32(data[24:28]); got != crc32.ChecksumIEEE(data[:snapHeaderLen]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrBadSnapshot)
+	}
+	fp := binary.LittleEndian.Uint64(data[8:16])
+	n := int(binary.LittleEndian.Uint32(data[16:20]))
+	rows := int(binary.LittleEndian.Uint32(data[20:24]))
+	if n != g.NumEdges() {
+		return nil, fmt.Errorf("%w: snapshot has %d edges, graph has %d", ErrSnapshotMismatch, n, g.NumEdges())
+	}
+	if fp != GraphFingerprint(g) {
+		return nil, fmt.Errorf("%w: fingerprint %016x, graph %016x", ErrSnapshotMismatch, fp, GraphFingerprint(g))
+	}
+	indexEnd := snapIndexStart + 8*n
+	if len(data) < indexEnd+4 {
+		return nil, fmt.Errorf("%w: truncated row index", ErrBadSnapshot)
+	}
+	index := data[snapIndexStart:indexEnd]
+	if got := binary.LittleEndian.Uint32(data[indexEnd:]); got != crc32.ChecksumIEEE(index) {
+		return nil, fmt.Errorf("%w: index checksum mismatch", ErrBadSnapshot)
+	}
+	rowLen := 4 + 12*n
+	present := 0
+	for src := 0; src < n; src++ {
+		off := int64(binary.LittleEndian.Uint64(index[8*src:]))
+		if off == 0 {
+			continue
+		}
+		present++
+		if off < int64(indexEnd+4) || off+int64(rowLen) > int64(len(data)) {
+			return nil, fmt.Errorf("%w: row %d offset %d out of bounds", ErrBadSnapshot, src, off)
+		}
+		payload := data[off+4 : off+int64(rowLen)]
+		if got := binary.LittleEndian.Uint32(data[off:]); got != crc32.ChecksumIEEE(payload) {
+			return nil, fmt.Errorf("%w: row %d checksum mismatch", ErrBadSnapshot, src)
+		}
+		for j := 0; j < n; j++ {
+			p := int32(binary.LittleEndian.Uint32(payload[4*j:]))
+			if p < int32(roadnet.NoEdge) || p >= int32(n) {
+				return nil, fmt.Errorf("%w: row %d has pred %d out of range", ErrBadSnapshot, src, p)
+			}
+		}
+	}
+	if present != rows {
+		return nil, fmt.Errorf("%w: header says %d rows, index has %d", ErrBadSnapshot, rows, present)
+	}
+	return &Snapshot{g: g, data: data, n: n, rows: rows, fallback: NewTable(g)}, nil
+}
+
+// Close releases the mapping. The Snapshot must not be used afterwards.
+// Close is idempotent.
+func (s *Snapshot) Close() error {
+	if s.unmap == nil {
+		s.data = nil
+		return nil
+	}
+	u := s.unmap
+	s.unmap = nil
+	s.data = nil
+	return u()
+}
+
+// Graph returns the underlying road network.
+func (s *Snapshot) Graph() *roadnet.Graph { return s.g }
+
+// Rows returns how many source rows the snapshot file carries.
+func (s *Snapshot) Rows() int { return s.rows }
+
+// CachedRows returns how many fallback rows have been computed on the heap
+// (0 when every lookup so far was served from the mapping — in particular,
+// always 0 for a snapshot written after PrecomputeAll).
+func (s *Snapshot) CachedRows() int { return s.fallback.CachedRows() }
+
+// MappedBytes reports the bytes served from the read-only mapping: exactly
+// the snapshot file size. These bytes live in the page cache and are shared
+// across every process mapping the same file. (On platforms without mmap
+// the snapshot is heap-resident but still reported here, keeping the
+// mapped-vs-heap split meaningful for accounting.)
+func (s *Snapshot) MappedBytes() int { return len(s.data) }
+
+// MemoryBytes reports the Go-heap bytes this snapshot holds: only the
+// fallback rows computed for sources absent from the file. A full snapshot
+// reports 0.
+func (s *Snapshot) MemoryBytes() int { return s.fallback.MemoryBytes() }
+
+// rowOffset returns the file offset of src's row, or 0 when absent.
+func (s *Snapshot) rowOffset(src roadnet.EdgeID) int64 {
+	return int64(binary.LittleEndian.Uint64(s.data[snapIndexStart+8*int(src):]))
+}
+
+func (s *Snapshot) predAt(off int64, dst roadnet.EdgeID) roadnet.EdgeID {
+	return roadnet.EdgeID(int32(binary.LittleEndian.Uint32(s.data[off+4+4*int64(dst):])))
+}
+
+func (s *Snapshot) distAt(off int64, dst roadnet.EdgeID) float64 {
+	base := off + 4 + 4*int64(s.n)
+	return math.Float64frombits(binary.LittleEndian.Uint64(s.data[base+8*int64(dst):]))
+}
+
+// SPEnd returns the edge right before dst on the canonical shortest path
+// from src to dst, or NoEdge when dst is unreachable from src or src == dst.
+func (s *Snapshot) SPEnd(src, dst roadnet.EdgeID) roadnet.EdgeID {
+	if off := s.rowOffset(src); off != 0 {
+		return s.predAt(off, dst)
+	}
+	return s.fallback.SPEnd(src, dst)
+}
+
+// Dist returns the shortest-path distance from src to dst under the same
+// convention as Table.Dist.
+func (s *Snapshot) Dist(src, dst roadnet.EdgeID) float64 {
+	if off := s.rowOffset(src); off != 0 {
+		return s.distAt(off, dst)
+	}
+	return s.fallback.Dist(src, dst)
+}
+
+// GapDist returns the distance covered by the interior of SP(src, dst).
+func (s *Snapshot) GapDist(src, dst roadnet.EdgeID) float64 {
+	d := s.Dist(src, dst)
+	if math.IsInf(d, 1) {
+		return d
+	}
+	if src == dst {
+		return 0
+	}
+	return d - s.g.Edge(dst).Weight
+}
+
+// Path reconstructs the canonical shortest path from src to dst, inclusive
+// of both endpoints. Returns nil when unreachable. The walk is bounded by
+// the edge count, so even a pathological pred chain cannot loop.
+func (s *Snapshot) Path(src, dst roadnet.EdgeID) []roadnet.EdgeID {
+	off := s.rowOffset(src)
+	if off == 0 {
+		return s.fallback.Path(src, dst)
+	}
+	if src == dst {
+		return []roadnet.EdgeID{src}
+	}
+	if math.IsInf(s.distAt(off, dst), 1) {
+		return nil
+	}
+	var rev []roadnet.EdgeID
+	for cur := dst; cur != src; cur = s.predAt(off, cur) {
+		if cur == roadnet.NoEdge || len(rev) >= s.n {
+			return nil
+		}
+		rev = append(rev, cur)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Reachable reports whether dst can be reached from src.
+func (s *Snapshot) Reachable(src, dst roadnet.EdgeID) bool {
+	return !math.IsInf(s.Dist(src, dst), 1)
+}

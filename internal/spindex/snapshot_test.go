@@ -1,0 +1,330 @@
+package spindex
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"press/internal/geo"
+	"press/internal/roadnet"
+)
+
+// saveSnapshot materializes every row of a fresh table over g and writes a
+// snapshot file, returning the path and the table it came from.
+func saveSnapshot(t *testing.T, g *roadnet.Graph) (string, *Table) {
+	t.Helper()
+	tab := NewTable(g)
+	tab.PrecomputeAll()
+	path := filepath.Join(t.TempDir(), "sp.snap")
+	if err := tab.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	return path, tab
+}
+
+// assertSPEqual compares every pair's answer between two SP sources.
+func assertSPEqual(t *testing.T, want, got SP) {
+	t.Helper()
+	n := want.Graph().NumEdges()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			src, dst := roadnet.EdgeID(a), roadnet.EdgeID(b)
+			if w, g := want.SPEnd(src, dst), got.SPEnd(src, dst); w != g {
+				t.Fatalf("SPEnd(%d,%d) = %d want %d", a, b, g, w)
+			}
+			w, g := want.Dist(src, dst), got.Dist(src, dst)
+			if w != g && !(math.IsInf(w, 1) && math.IsInf(g, 1)) {
+				t.Fatalf("Dist(%d,%d) = %g want %g", a, b, g, w)
+			}
+			wg, gg := want.GapDist(src, dst), got.GapDist(src, dst)
+			if wg != gg && !(math.IsInf(wg, 1) && math.IsInf(gg, 1)) {
+				t.Fatalf("GapDist(%d,%d) = %g want %g", a, b, gg, wg)
+			}
+			if w, g := want.Reachable(src, dst), got.Reachable(src, dst); w != g {
+				t.Fatalf("Reachable(%d,%d) = %v want %v", a, b, g, w)
+			}
+			wp, gp := want.Path(src, dst), got.Path(src, dst)
+			if len(wp) != len(gp) {
+				t.Fatalf("Path(%d,%d) len = %d want %d", a, b, len(gp), len(wp))
+			}
+			for i := range wp {
+				if wp[i] != gp[i] {
+					t.Fatalf("Path(%d,%d)[%d] = %d want %d", a, b, i, gp[i], wp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := randomGraph(t, 10, 24, seed)
+		path, tab := saveSnapshot(t, g)
+		snap, err := OpenMapped(path, g)
+		if err != nil {
+			t.Fatalf("seed %d: OpenMapped: %v", seed, err)
+		}
+		if snap.Rows() != g.NumEdges() {
+			t.Fatalf("seed %d: Rows = %d want %d", seed, snap.Rows(), g.NumEdges())
+		}
+		assertSPEqual(t, tab, snap)
+		// A full snapshot never computes fallback rows: no Dijkstra on
+		// reopen.
+		if snap.CachedRows() != 0 {
+			t.Fatalf("seed %d: CachedRows = %d after full-table lookups, want 0", seed, snap.CachedRows())
+		}
+		if snap.MemoryBytes() != 0 {
+			t.Fatalf("seed %d: MemoryBytes = %d for full snapshot, want 0", seed, snap.MemoryBytes())
+		}
+		snap.Close()
+	}
+}
+
+func TestSnapshotPartialFallback(t *testing.T) {
+	g := randomGraph(t, 8, 16, 3)
+	tab := NewTable(g)
+	// Materialize only even source rows.
+	for e := 0; e < g.NumEdges(); e += 2 {
+		tab.SPEnd(roadnet.EdgeID(e), 0)
+	}
+	path := filepath.Join(t.TempDir(), "sp.snap")
+	if err := tab.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenMapped(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if snap.Rows() != (g.NumEdges()+1)/2 {
+		t.Fatalf("Rows = %d want %d", snap.Rows(), (g.NumEdges()+1)/2)
+	}
+	full := NewTable(g)
+	assertSPEqual(t, full, snap)
+	// Odd rows were served by fallback Dijkstra, and only those.
+	if want := g.NumEdges() / 2; snap.CachedRows() != want {
+		t.Fatalf("CachedRows = %d want %d", snap.CachedRows(), want)
+	}
+	if snap.MemoryBytes() == 0 {
+		t.Fatal("MemoryBytes = 0 despite fallback rows")
+	}
+}
+
+// TestSnapshotMappedBytesExact pins the mapped-vs-heap accounting split: a
+// mapped snapshot reports exactly the file size as mapped bytes and zero
+// heap bytes until a fallback row is forced; a heap table reports the
+// mirror image.
+func TestSnapshotMappedBytesExact(t *testing.T) {
+	g := randomGraph(t, 9, 20, 11)
+	path, tab := saveSnapshot(t, g)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumEdges()
+	wantSize := int64(snapIndexStart + 8*n + 4 + n*(4+12*n))
+	if fi.Size() != wantSize {
+		t.Fatalf("file size = %d want %d", fi.Size(), wantSize)
+	}
+	snap, err := OpenMapped(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if got := snap.MappedBytes(); int64(got) != fi.Size() {
+		t.Fatalf("MappedBytes = %d want file size %d", got, fi.Size())
+	}
+	if snap.MemoryBytes() != 0 {
+		t.Fatalf("MemoryBytes = %d before any fallback, want 0", snap.MemoryBytes())
+	}
+	if tab.MappedBytes() != 0 {
+		t.Fatalf("Table.MappedBytes = %d want 0", tab.MappedBytes())
+	}
+	if tab.MemoryBytes() == 0 {
+		t.Fatal("Table.MemoryBytes = 0 for a materialized table")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	g := randomGraph(t, 6, 12, 5)
+	path, _ := saveSnapshot(t, g)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.snap")
+	for size := 0; size < len(blob); size += 7 {
+		if err := os.WriteFile(cut, blob[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := OpenMapped(cut, g)
+		if err == nil {
+			snap.Close()
+			t.Fatalf("truncation to %d bytes accepted", size)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("truncation to %d: err = %v, want ErrBadSnapshot", size, err)
+		}
+	}
+}
+
+// TestSnapshotCorruptByte flips every byte of the file in turn; each flip
+// must surface as ErrBadSnapshot (every section is CRC-protected), never as
+// a silently different table.
+func TestSnapshotCorruptByte(t *testing.T) {
+	g := randomGraph(t, 5, 10, 9)
+	path, _ := saveSnapshot(t, g)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	for i := range blob {
+		blob[i] ^= 0xFF
+		if err := os.WriteFile(bad, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		blob[i] ^= 0xFF
+		snap, err := OpenMapped(bad, g)
+		if err == nil {
+			snap.Close()
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("flipped byte %d: err = %v, want ErrBadSnapshot", i, err)
+		}
+	}
+}
+
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	g := randomGraph(t, 8, 16, 1)
+	path, _ := saveSnapshot(t, g)
+	// Same shape, different seed: same edge count, different weights.
+	other := randomGraph(t, 8, 16, 2)
+	if GraphFingerprint(g) == GraphFingerprint(other) {
+		t.Fatal("fingerprints collide for different graphs")
+	}
+	if _, err := OpenMapped(path, other); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("err = %v, want ErrSnapshotMismatch", err)
+	}
+	// Different edge count is also a mismatch, not a decode error.
+	small := randomGraph(t, 6, 9, 1)
+	if _, err := OpenMapped(path, small); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("err = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestSnapshotBadMagicAndVersion(t *testing.T) {
+	g := randomGraph(t, 5, 10, 4)
+	path, _ := saveSnapshot(t, g)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte){
+		"magic":   func(b []byte) { b[0] = 'X' },
+		"version": func(b []byte) { b[4] = 99 },
+	} {
+		mutated := append([]byte(nil), blob...)
+		mutate(mutated)
+		if _, err := parseSnapshot(mutated, g); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+}
+
+// TestSnapshotConcurrentReaders hammers one mapped snapshot from many
+// goroutines (run under -race in CI).
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	g := randomGraph(t, 8, 18, 6)
+	path, tab := saveSnapshot(t, g)
+	snap, err := OpenMapped(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	n := g.NumEdges()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := roadnet.EdgeID((seed + i) % n)
+				b := roadnet.EdgeID((seed + 3*i) % n)
+				if snap.SPEnd(a, b) != tab.SPEnd(a, b) {
+					panic("concurrent SPEnd mismatch")
+				}
+				snap.Path(a, b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fuzzGraphOnce builds the fixed tiny network the fuzz decoder runs
+// against: a 4-cycle with two chords.
+var fuzzGraphOnce = sync.OnceValue(func() *roadnet.Graph {
+	vs := make([]roadnet.Vertex, 4)
+	for i := range vs {
+		vs[i] = roadnet.Vertex{ID: roadnet.VertexID(i), Pos: geo.Point{X: float64(i), Y: float64(i % 2)}}
+	}
+	es := []roadnet.Edge{
+		{ID: 0, From: 0, To: 1, Weight: 1},
+		{ID: 1, From: 1, To: 2, Weight: 2},
+		{ID: 2, From: 2, To: 3, Weight: 1},
+		{ID: 3, From: 3, To: 0, Weight: 3},
+		{ID: 4, From: 0, To: 2, Weight: 5},
+		{ID: 5, From: 2, To: 0, Weight: 4},
+	}
+	g, err := roadnet.NewGraph(vs, es)
+	if err != nil {
+		panic(err)
+	}
+	return g
+})
+
+// FuzzSnapshotOpen throws arbitrary bytes at the snapshot decoder: it must
+// either reject them with a typed error or produce a snapshot whose lookups
+// never panic.
+func FuzzSnapshotOpen(f *testing.F) {
+	g := fuzzGraphOnce()
+	tab := NewTable(g)
+	tab.PrecomputeAll()
+	var buf bytes.Buffer
+	if _, err := tab.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:snapIndexStart])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 1
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := parseSnapshot(data, g)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) && !errors.Is(err, ErrSnapshotMismatch) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		n := g.NumEdges()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				src, dst := roadnet.EdgeID(a), roadnet.EdgeID(b)
+				snap.SPEnd(src, dst)
+				snap.Dist(src, dst)
+				snap.GapDist(src, dst)
+				snap.Path(src, dst)
+				snap.Reachable(src, dst)
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package spindex
+
+import "press/internal/roadnet"
+
+// SP is the shortest-path source every PRESS component consumes: the §3.1
+// contract (SPend lookups, distances, canonical path reconstruction) without
+// committing to where the all-pair rows live. Two implementations ship:
+//
+//   - *Table keeps rows on the Go heap, computed lazily (or bulk-materialized
+//     by PrecomputeAll*) — the right shape while rows are still being built;
+//   - *Snapshot serves rows from a read-only memory-mapped file written by
+//     Table.WriteSnapshot — the right shape for serving: N processes share
+//     one copy through the page cache and reopening performs no Dijkstra
+//     work.
+//
+// Both are safe for concurrent use, and both return identical answers for
+// the same graph (the canonical tie-breaking of computeRow is serialized
+// into the snapshot verbatim), so swapping one for the other never changes
+// compression output or query results.
+type SP interface {
+	// SPEnd returns the edge right before dst on the canonical shortest
+	// path from src to dst, or NoEdge when dst is unreachable or src == dst.
+	SPEnd(src, dst roadnet.EdgeID) roadnet.EdgeID
+	// Dist returns the shortest-path distance from src to dst, accumulated
+	// over every edge of the path except src itself (0 when src == dst,
+	// +Inf when unreachable).
+	Dist(src, dst roadnet.EdgeID) float64
+	// GapDist returns the distance covered by the interior of SP(src, dst):
+	// the edges strictly between src and dst.
+	GapDist(src, dst roadnet.EdgeID) float64
+	// Path reconstructs the canonical shortest path from src to dst,
+	// inclusive of both endpoints. Returns nil when unreachable.
+	Path(src, dst roadnet.EdgeID) []roadnet.EdgeID
+	// Reachable reports whether dst can be reached from src.
+	Reachable(src, dst roadnet.EdgeID) bool
+	// Graph returns the underlying road network.
+	Graph() *roadnet.Graph
+}
+
+// Compile-time checks: both implementations satisfy the contract.
+var (
+	_ SP = (*Table)(nil)
+	_ SP = (*Snapshot)(nil)
+)

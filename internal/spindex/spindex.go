@@ -17,6 +17,12 @@
 // Ties are broken deterministically (smaller distance, then smaller
 // predecessor edge id) so there is a single canonical shortest path per edge
 // pair, eliminating the ambiguity §3.1 warns about.
+//
+// Consumers program against the SP interface (sp.go); Table is the heap
+// implementation. Snapshot (snapshot.go) serves the same rows from a
+// read-only memory-mapped file written by Table.WriteSnapshot, so large
+// networks share one table across processes and reopen without re-running
+// any Dijkstra.
 package spindex
 
 import (
@@ -348,3 +354,9 @@ func (t *Table) MemoryBytes() int {
 	}
 	return total
 }
+
+// MappedBytes reports file-backed, page-cache-shared bytes. A heap Table
+// maps nothing, so it always reports 0; the counterpart lives on Snapshot,
+// where MemoryBytes/MappedBytes split heap fallback rows from the read-only
+// mapping.
+func (t *Table) MappedBytes() int { return 0 }

@@ -45,6 +45,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -144,6 +145,18 @@ type Config struct {
 	// long without a push (0 = sessions end only on explicit flush). See
 	// NewStreamIngestor.
 	SessionIdleFlush time.Duration
+	// SPSnapshotPath makes the shortest-path table disk-resident: when the
+	// file exists and matches the graph, NewSystem memory-maps it read-only
+	// (no Dijkstra work on reopen, and N processes share one copy via the
+	// page cache); on a cache miss — missing, corrupt or mismatched file,
+	// or a partial snapshot while PrecomputeShortestPaths demands the full
+	// table — NewSystem materializes the full table (SPSnapshotPath implies
+	// PrecomputeShortestPaths on a miss) and writes the snapshot there for
+	// the next boot. Open failures that are not cache misses (permissions,
+	// I/O) fail construction instead of triggering a silent precompute.
+	// Empty keeps the table on the heap. See also SaveSPSnapshot and
+	// NewSystemFromSnapshot.
+	SPSnapshotPath string
 }
 
 // DefaultConfig returns the paper's defaults: θ = 3, zero-error temporal
@@ -155,7 +168,8 @@ func DefaultConfig() Config {
 // System is the assembled PRESS pipeline over one road network.
 type System struct {
 	graph      *roadnet.Graph
-	sp         *spindex.Table
+	sp         spindex.SP
+	spSnap     *spindex.Snapshot // non-nil when sp is a mapped snapshot
 	cb         *core.Codebook
 	compressor *core.Compressor
 	engine     *query.Engine
@@ -170,19 +184,62 @@ func NewSystem(g *Graph, training []Path, cfg Config) (*System, error) {
 	if g == nil {
 		return nil, errors.New("press: nil graph")
 	}
+	var (
+		sp   spindex.SP
+		snap *spindex.Snapshot
+	)
+	if cfg.SPSnapshotPath != "" {
+		// The snapshot is a derived cache of the graph: a stale entry —
+		// missing file, truncation/corruption, fingerprint mismatch after a
+		// network update, or a partial snapshot when the full table was
+		// requested — falls through to recomputing and rewriting it. Any
+		// other failure (permissions, I/O) is real and must not be papered
+		// over with an expensive silent precompute every boot.
+		s, err := spindex.OpenMapped(cfg.SPSnapshotPath, g)
+		switch {
+		case err == nil && cfg.PrecomputeShortestPaths && s.Rows() < g.NumEdges():
+			s.Close()
+		case err == nil:
+			sp, snap = s, s
+		case errors.Is(err, os.ErrNotExist),
+			errors.Is(err, spindex.ErrBadSnapshot),
+			errors.Is(err, spindex.ErrSnapshotMismatch):
+			// cache miss: regenerate below
+		default:
+			return nil, fmt.Errorf("press: opening SP snapshot: %w", err)
+		}
+	}
+	if sp == nil {
+		tab := spindex.NewTable(g)
+		if cfg.PrecomputeShortestPaths || cfg.SPSnapshotPath != "" {
+			if cfg.PrecomputeWorkers > 0 {
+				tab.PrecomputeAllParallel(cfg.PrecomputeWorkers)
+			} else {
+				tab.PrecomputeAll()
+			}
+		}
+		if cfg.SPSnapshotPath != "" {
+			if err := tab.SaveSnapshot(cfg.SPSnapshotPath); err != nil {
+				return nil, fmt.Errorf("press: saving SP snapshot: %w", err)
+			}
+		}
+		sp = tab
+	}
+	sys, err := assembleSystem(g, sp, snap, training, cfg)
+	if err != nil && snap != nil {
+		snap.Close()
+	}
+	return sys, err
+}
+
+// assembleSystem builds the trained pipeline components over an SP source of
+// either implementation.
+func assembleSystem(g *Graph, sp spindex.SP, snap *spindex.Snapshot, training []Path, cfg Config) (*System, error) {
 	if cfg.Theta <= 0 {
 		cfg.Theta = 3
 	}
 	if cfg.Matcher.CandidateRadius == 0 {
 		cfg.Matcher = mapmatch.DefaultOptions()
-	}
-	sp := spindex.NewTable(g)
-	if cfg.PrecomputeShortestPaths {
-		if cfg.PrecomputeWorkers > 0 {
-			sp.PrecomputeAllParallel(cfg.PrecomputeWorkers)
-		} else {
-			sp.PrecomputeAll()
-		}
 	}
 	corpus := make([]Path, 0, len(training))
 	for _, p := range training {
@@ -205,9 +262,78 @@ func NewSystem(g *Graph, training []Path, cfg Config) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		graph: g, sp: sp, cb: cb,
+		graph: g, sp: sp, spSnap: snap, cb: cb,
 		compressor: compressor, engine: engine, matcher: matcher, cfg: cfg,
 	}, nil
+}
+
+// NewSystemFromSnapshot assembles a System whose shortest-path source is the
+// snapshot file at path, memory-mapped read-only: construction performs no
+// Dijkstra work for any row present in the snapshot, and N processes built
+// over the same file share one physical copy of the table via the page
+// cache. Unlike NewSystem with Config.SPSnapshotPath (which treats the
+// snapshot as a regenerable cache), a missing or mismatched snapshot is an
+// error here. Close the returned System to release the mapping.
+func NewSystemFromSnapshot(g *Graph, training []Path, path string, cfg Config) (*System, error) {
+	if g == nil {
+		return nil, errors.New("press: nil graph")
+	}
+	snap, err := spindex.OpenMapped(path, g)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := assembleSystem(g, snap, snap, training, cfg)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// SaveSPSnapshot serializes the system's shortest-path table to path in the
+// versioned snapshot format (every currently materialized row; combine with
+// Config.PrecomputeShortestPaths for a full table). It fails when the
+// system's SP source already is a mapped snapshot — the file it was opened
+// from is the snapshot.
+func (s *System) SaveSPSnapshot(path string) error {
+	tab, ok := s.sp.(*spindex.Table)
+	if !ok {
+		return errors.New("press: SP source is already a mapped snapshot")
+	}
+	return tab.SaveSnapshot(path)
+}
+
+// Close releases resources the system holds — today, the shortest-path
+// snapshot mapping when the system was built over one. Systems with a heap
+// SP table need no Close; calling it anyway is a no-op.
+func (s *System) Close() error {
+	if s.spSnap != nil {
+		return s.spSnap.Close()
+	}
+	return nil
+}
+
+// SPStats describes the system's shortest-path source for capacity
+// accounting: heap bytes vs file-backed mapped bytes, and how many rows are
+// materialized on the heap (for a mapped system, fallback rows computed for
+// sources absent from the snapshot — 0 when the snapshot is full).
+type SPStats struct {
+	Mapped      bool // SP source is a memory-mapped snapshot
+	CachedRows  int  // rows materialized on the Go heap
+	HeapBytes   int  // estimated heap bytes of those rows
+	MappedBytes int  // bytes served from the read-only mapping
+}
+
+// SPStats reports the current shortest-path source accounting.
+func (s *System) SPStats() SPStats {
+	switch sp := s.sp.(type) {
+	case *spindex.Snapshot:
+		return SPStats{Mapped: true, CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes(), MappedBytes: sp.MappedBytes()}
+	case *spindex.Table:
+		return SPStats{CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes()}
+	default:
+		return SPStats{}
+	}
 }
 
 // Graph returns the road network the system operates on.
@@ -522,6 +648,15 @@ func OpenShardedFleetStore(path string) (*ShardedFleetStore, error) {
 // number of records migrated.
 func MigrateFleetStore(src, dstDir string, shards int) (int, error) {
 	return store.Migrate(src, dstDir, shards)
+}
+
+// CompactFleetStore rewrites the sharded store at src into dst, keeping
+// only the latest record per trajectory id (the one Get serves) and
+// dropping superseded duplicates. Shard count, shard placement and survivor
+// payload bytes are preserved exactly. Returns the kept and dropped record
+// counts.
+func CompactFleetStore(src, dst string) (kept, dropped int, err error) {
+	return store.Compact(src, dst)
 }
 
 // NewFleetStore creates a sharded fleet container at dir with the
