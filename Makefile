@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench spbench fuzz ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench serverbench serve smoke fuzz ci
 
 all: ci
 
@@ -36,6 +36,24 @@ streambench:
 spbench:
 	$(GO) run ./cmd/pressbench -fig spbench
 
+# The pressd HTTP serving scenario: wire ingest points/s, then whereat
+# requests/s at 1/2/4/8 concurrent clients over loopback.
+serverbench:
+	$(GO) run ./cmd/pressbench -fig serverbench
+
+# Boot the serving daemon on a freshly generated demo workload (ctrl-C or
+# SIGTERM drains and exits cleanly).
+serve:
+	$(GO) run ./cmd/pressgen -out /tmp/press-demo -trips 120
+	$(GO) run ./cmd/pressd -net /tmp/press-demo/network.txt \
+		-train /tmp/press-demo/trips.txt -snapshot /tmp/press-demo/sp.snap \
+		-init -store /tmp/press-demo/fleet -addr 127.0.0.1:8321
+
+# End-to-end daemon smoke: boot pressd against a temp snapshot+store, curl
+# /healthz plus one ingest+query round-trip, SIGTERM, assert clean exit.
+smoke:
+	./scripts/pressd_smoke.sh
+
 # Short fuzz smoke: keeps the harnesses from bit-rotting. FUZZTIME=5m for a
 # real session.
 FUZZTIME ?= 10s
@@ -43,4 +61,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -fuzz=FuzzSnapshotOpen -fuzztime=$(FUZZTIME) ./internal/spindex
 
-ci: build vet race benchsmoke fuzz
+ci: build vet race benchsmoke fuzz smoke

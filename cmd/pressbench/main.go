@@ -11,15 +11,22 @@
 // fig16 fig17 aux, plus the extensions: ablation (per-stage contribution),
 // qscale (query time vs trajectory length), pipeline (streaming ingest
 // throughput vs worker count; -workers sets the top of the sweep),
-// storebench (sharded fleet-store append throughput at 1/2/4/8 shards) and
+// storebench (sharded fleet-store append throughput at 1/2/4/8 shards),
 // streambench (live per-vehicle session ingest: per-point push latency and
-// sessions/s at 1/2/4/8 concurrent feeders).
+// sessions/s at 1/2/4/8 concurrent feeders) and serverbench (the pressd
+// HTTP serving layer over loopback: ingest points/s over the wire, then
+// whereat requests/s at 1/2/4/8 concurrent clients).
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -36,6 +43,7 @@ import (
 	"press/internal/pipeline"
 	"press/internal/query"
 	"press/internal/roadnet"
+	"press/internal/server"
 	"press/internal/spindex"
 	"press/internal/store"
 	"press/internal/stream"
@@ -70,7 +78,7 @@ func main() {
 	// so runs of just those skip the O(|E|^2) cost.
 	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") ||
 		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench") ||
-		strings.EqualFold(*fig, "spbench")) {
+		strings.EqualFold(*fig, "spbench") || strings.EqualFold(*fig, "serverbench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -165,6 +173,9 @@ func main() {
 		{"spbench", func() error {
 			return runSPBenchScenario(env, *workers)
 		}},
+		{"serverbench", func() error {
+			return runServerBenchScenario(env, *workers)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -188,7 +199,7 @@ func main() {
 var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
-	"storebench", "streambench", "spbench",
+	"storebench", "streambench", "spbench", "serverbench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -490,6 +501,184 @@ func runSPBenchScenario(env *experiments.Env, workers int) error {
 	fmt.Printf("%-24s %14.0f %14d   (Go heap)\n", "Table (heap)", heapRate, tab.MemoryBytes())
 	fmt.Printf("%-24s %14.0f %14d   (page cache, shared)\n", "Snapshot (mapped)", mappedRate, snap.MappedBytes())
 	fmt.Printf("mapped/heap lookup ratio: %.2fx\n\n", mappedRate/heapRate)
+	return nil
+}
+
+// runServerBenchScenario measures the pressd serving layer end to end over
+// loopback HTTP: the environment's fleet is first streamed through
+// POST /v1/ingest (the wire-protocol ingest path, one request per chunk of
+// points, flush at end of trip), then 1/2/4/8 concurrent clients hammer
+// GET /v1/whereat against the stored records. The server boots the way
+// pressd does — engine and compressor over a memory-mapped SP snapshot
+// (zero Dijkstra at open) — so the numbers include the full daemon stack:
+// HTTP parsing, the concurrency bound, session/store access and JSON
+// encoding. On multi-core hardware requests/s should scale with clients
+// until the query engine, not the transport, saturates.
+func runServerBenchScenario(env *experiments.Env, workers int) error {
+	g := env.DS.Graph
+
+	// Boot exactly like pressd: precompute once, snapshot, map it back.
+	tab := spindex.NewTable(g)
+	tab.PrecomputeAllParallel(workers)
+	dir, err := os.MkdirTemp("", "press-serverbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "sp.snap")
+	if err := tab.SaveSnapshot(snapPath); err != nil {
+		return err
+	}
+	snap, err := spindex.OpenMapped(snapPath, g)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	comp, err := core.NewCompressor(g, snap, env.CB, 100, 60)
+	if err != nil {
+		return err
+	}
+	eng, err := query.NewEngine(g, snap, env.CB)
+	if err != nil {
+		return err
+	}
+	st, err := store.CreateSharded(filepath.Join(dir, "fleet"), 4)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	srv, err := server.New(context.Background(), server.Config{
+		Engine: eng, Compressor: comp, Store: st,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+
+	// Wire types (mirroring internal/server's protocol).
+	type sampleMsg struct {
+		D float64 `json:"d"`
+		T float64 `json:"t"`
+	}
+	type pointMsg struct {
+		Edge   *int64     `json:"edge,omitempty"`
+		Sample *sampleMsg `json:"sample,omitempty"`
+	}
+
+	// Phase 1: HTTP ingest of the whole fleet, chunked like a live feed.
+	feed := env.DS.Truth
+	if len(feed) == 0 {
+		return fmt.Errorf("serverbench: no trajectories")
+	}
+	var totalPoints int
+	t0 := time.Now()
+	for i, tr := range feed {
+		var pts []pointMsg
+		_ = tr.Replay(
+			func(e roadnet.EdgeID) error {
+				v := int64(e)
+				pts = append(pts, pointMsg{Edge: &v})
+				return nil
+			},
+			func(p traj.Entry) error {
+				pts = append(pts, pointMsg{Sample: &sampleMsg{D: p.D, T: p.T}})
+				return nil
+			},
+		)
+		totalPoints += len(pts)
+		for len(pts) > 0 {
+			n := 64
+			if n > len(pts) {
+				n = len(pts)
+			}
+			body, _ := json.Marshal(map[string]any{"points": pts[:n], "flush": len(pts) == n})
+			resp, err := client.Post(fmt.Sprintf("%s/v1/ingest/%d", base, i), "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("serverbench: ingest %d: HTTP %d", i, resp.StatusCode)
+			}
+			pts = pts[n:]
+		}
+	}
+	ingestElapsed := time.Since(t0)
+	if st.Len() != len(feed) {
+		return fmt.Errorf("serverbench: store holds %d of %d trajectories", st.Len(), len(feed))
+	}
+	fmt.Println("serverbench: pressd HTTP serving layer over loopback (snapshot-booted)")
+	fmt.Printf("ingest: %d vehicles, %d points over HTTP in %v (%.0f points/s)\n",
+		len(feed), totalPoints, ingestElapsed.Round(time.Millisecond),
+		float64(totalPoints)/ingestElapsed.Seconds())
+
+	// Phase 2: whereat requests/s at 1/2/4/8 concurrent clients. Each
+	// request targets a stored vehicle at a pseudo-random time inside its
+	// trip; the schedule is deterministic per request index.
+	span := make([][2]float64, len(feed))
+	for i, tr := range feed {
+		span[i] = [2]float64{tr.Temporal[0].T, tr.Temporal[len(tr.Temporal)-1].T}
+	}
+	const requests = 4000
+	fmt.Printf("%10s %10s %12s %12s %12s %8s\n",
+		"clients", "requests", "req/s", "mean", "elapsed", "speedup")
+	var base1 float64
+	for _, c := range []int{1, 2, 4, 8} {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errc := make(chan error, c)
+		t0 := time.Now()
+		for k := 0; k < c; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= requests {
+						return
+					}
+					v := i % len(feed)
+					frac := float64((i*2654435761)%1000) / 1000
+					t := span[v][0] + frac*(span[v][1]-span[v][0])
+					resp, err := client.Get(fmt.Sprintf("%s/v1/whereat?id=%d&t=%g", base, v, t))
+					if err != nil {
+						errc <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("whereat %d: HTTP %d", v, resp.StatusCode)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		select {
+		case err := <-errc:
+			return fmt.Errorf("serverbench: %d clients: %w", c, err)
+		default:
+		}
+		rate := float64(requests) / elapsed.Seconds()
+		if c == 1 {
+			base1 = rate
+		}
+		fmt.Printf("%10d %10d %12.0f %12v %12v %7.2fx\n",
+			c, requests, rate,
+			(elapsed / requests * time.Duration(c)).Round(time.Microsecond),
+			elapsed.Round(time.Millisecond), rate/base1)
+	}
+	fmt.Println()
 	return nil
 }
 

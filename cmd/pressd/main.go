@@ -1,0 +1,205 @@
+// Command pressd is the PRESS serving daemon: HTTP ingest of live GPS
+// observations per vehicle plus the paper's LBS queries (whereat, whenat,
+// range, minimal distance) answered directly against the compressed fleet
+// store — the city-scale serving system the paper pitches compression as
+// enabling.
+//
+//	pressd -net network.txt -train trips.txt -snapshot sp.snap -store fleet/ \
+//	       [-init] [-addr :8321] [-shards 4] [-theta 3] [-tsnd 0] [-nstd 0] \
+//	       [-idle-flush 30s] [-max-session-bytes 1048576] [-max-concurrent 0] \
+//	       [-drain-timeout 30s]
+//
+// Cold start is a memory map, not a Dijkstra run: the daemon boots strictly
+// from the SP snapshot at -snapshot (zero shortest-path rows computed —
+// check sp.cached_rows in /v1/stats), so N worker processes over the same
+// file share one physical copy of the table through the page cache. With
+// -init a missing or stale snapshot is materialized once (the only mode
+// that ever runs the all-pair precompute) and then mapped back, so first
+// boot and every later boot go through the same serving path.
+//
+// The fleet store at -store is created when absent (with -shards segment
+// files) and reopened — recovering per shard from any crash tail — when
+// present.
+//
+// On SIGINT/SIGTERM the daemon drains: it stops accepting connections,
+// finishes in-flight requests, flushes every open ingest session to the
+// store within -drain-timeout, syncs and closes the store, and exits 0. A
+// drain that exceeds the timeout discards the remaining open sessions
+// (records already in the store always survive) and exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"press"
+	"press/internal/roadnet"
+	"press/internal/spindex"
+	"press/internal/traj"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("net", "data/network.txt", "road network file")
+		train    = flag.String("train", "data/trips.txt", "training paths file")
+		snapshot = flag.String("snapshot", "sp.snap", "SP snapshot file to boot from")
+		init_    = flag.Bool("init", false, "materialize the snapshot if missing/stale, then boot from it")
+		storeDir = flag.String("store", "fleet", "sharded fleet store directory")
+		shards   = flag.Int("shards", 4, "shard count when creating a new store")
+		addr     = flag.String("addr", ":8321", "listen address")
+		theta    = flag.Int("theta", 3, "max mined sub-trajectory length")
+		tsnd     = flag.Float64("tsnd", 0, "TSND bound (m)")
+		nstd     = flag.Float64("nstd", 0, "NSTD bound (s)")
+		idle     = flag.Duration("idle-flush", 30*time.Second, "auto-flush sessions idle this long (0 = never)")
+		maxSess  = flag.Int("max-session-bytes", 1<<20, "per-session retained-memory cap (0 = unlimited)")
+		maxConc  = flag.Int("max-concurrent", 0, "max concurrent requests (0 = 4x GOMAXPROCS, <0 = unbounded)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	g := loadNet(*netPath)
+	training := loadPaths(*train)
+
+	cfg := press.DefaultConfig()
+	cfg.Theta = *theta
+	cfg.TSND, cfg.NSTD = *tsnd, *nstd
+	cfg.SessionIdleFlush = *idle
+
+	t0 := time.Now()
+	sys, err := press.NewSystemFromSnapshot(g, training, *snapshot, cfg)
+	if err != nil && *init_ && snapshotCacheMiss(err) {
+		// Materialize the snapshot directly from a shortest-path table —
+		// no codebook training, which the strict boot below does exactly
+		// once — then retry the same serving path every later boot takes.
+		fmt.Fprintf(os.Stderr, "pressd: materializing SP snapshot at %s...\n", *snapshot)
+		tab := spindex.NewTable(g)
+		tab.PrecomputeAllParallel(runtime.GOMAXPROCS(0))
+		if err := tab.SaveSnapshot(*snapshot); err != nil {
+			fatal(err)
+		}
+		sys, err = press.NewSystemFromSnapshot(g, training, *snapshot, cfg)
+	}
+	if err != nil {
+		if !*init_ {
+			err = fmt.Errorf("%w (run once with -init to materialize the snapshot)", err)
+		}
+		fatal(err)
+	}
+	defer sys.Close()
+	boot := time.Since(t0)
+
+	st, err := openOrCreateStore(*storeDir, *shards)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := sys.NewServer(context.Background(), st, press.ServerOptions{
+		MaxConcurrent: *maxConc,
+		Stream:        press.StreamOptions{MaxSessionBytes: *maxSess},
+	})
+	if err != nil {
+		st.Close()
+		fatal(err)
+	}
+
+	stats := sys.SPStats()
+	fmt.Printf("pressd: booted in %v: %d edges, SP %s (%d cached rows, %d mapped bytes), store %q (%d records, %d shards)\n",
+		boot.Round(time.Millisecond), g.NumEdges(), residency(stats.Mapped),
+		stats.CachedRows, stats.MappedBytes, *storeDir, st.Len(), st.Shards())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("pressd: listening on %s\n", *addr)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		st.Close()
+		fatal(err) // listener died before any signal
+	case <-sigCtx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "pressd: draining (budget %v)...\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(drainCtx)
+	syncErr := st.Sync()
+	closeErr := st.Close()
+	if err := errors.Join(shutdownErr, syncErr, closeErr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "pressd: clean exit")
+}
+
+// snapshotCacheMiss reports whether the strict open failed because the
+// snapshot is absent, damaged or written for another network — the cases
+// -init regenerates. Real I/O or permission failures are not papered over.
+func snapshotCacheMiss(err error) bool {
+	return errors.Is(err, os.ErrNotExist) ||
+		errors.Is(err, spindex.ErrBadSnapshot) ||
+		errors.Is(err, spindex.ErrSnapshotMismatch)
+}
+
+func residency(mapped bool) string {
+	if mapped {
+		return "mapped"
+	}
+	return "heap"
+}
+
+// openOrCreateStore reopens an existing sharded store (recovering crash
+// tails) or creates a fresh one.
+func openOrCreateStore(dir string, shards int) (*press.ShardedFleetStore, error) {
+	st, err := press.OpenShardedFleetStore(dir)
+	if err == nil {
+		if st.Legacy() {
+			st.Close()
+			return nil, fmt.Errorf("pressd: %s is a read-only legacy v1 store; migrate it first", dir)
+		}
+		return st, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return press.CreateShardedFleetStore(dir, shards)
+	}
+	return nil, err
+}
+
+func loadNet(path string) *roadnet.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g, err := roadnet.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func loadPaths(path string) []traj.Path {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	paths, err := traj.ReadPaths(f)
+	if err != nil {
+		fatal(err)
+	}
+	return paths
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pressd:", err)
+	os.Exit(1)
+}

@@ -220,6 +220,16 @@ func (o *OnlineCompressor) Samples() int { return o.samples }
 // Empty reports whether nothing has been pushed since the last Reset/Flush.
 func (o *OnlineCompressor) Empty() bool { return o.edges == 0 && o.samples == 0 }
 
+// MemoryBytes estimates the heap bytes this session retains while streaming:
+// the backing arrays of the retained spatial path (4 bytes per edge) and
+// temporal sequence (16 bytes per tuple). This is the quantity a per-session
+// memory cap bounds — it grows with the *compressed* trajectory, so only a
+// vehicle whose trip genuinely does not compress (or never ends) drives it
+// up.
+func (o *OnlineCompressor) MemoryBytes() int {
+	return cap(o.path)*4 + cap(o.temp)*16
+}
+
 // Flush finalizes the trajectory: the trailing window elements are emitted,
 // the retained spatial path is FST-encoded, and the compressor resets
 // itself for the next trajectory. The returned record is byte-identical to

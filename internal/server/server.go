@@ -1,0 +1,695 @@
+// Package server is the network edge of PRESS: an HTTP/JSON daemon layer
+// that ingests live GPS observations per vehicle through the stream session
+// layer into a sharded fleet store, and answers the paper's LBS queries
+// (§5: whereat, whenat, range, minimal distance) directly against the
+// stored compressed trajectories — the serving system the paper pitches
+// compression as enabling.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/ingest/{id}   feed points for vehicle id; body
+//	                       {"points":[{"edge":E}|{"sample":{"d":D,"t":T}}|both,...],
+//	                        "flush":bool}; each point opens/extends the
+//	                       vehicle's online session; flush ends the trip.
+//	                       413 when a point drives the session past the
+//	                       memory cap (session force-flushed, point kept).
+//	GET  /v1/whereat       ?id=&t=          -> {"x":..,"y":..}
+//	GET  /v1/whenat        ?id=&x=&y=       -> {"t":..}
+//	GET  /v1/range         ?id=&t1=&t2=&xmin=&ymin=&xmax=&ymax= -> {"hit":..}
+//	                       without id: fleet-index-backed range over every
+//	                       stored vehicle -> {"ids":[..]}
+//	GET  /v1/mindistance   ?a=&b=           -> {"distance":..}
+//	GET  /v1/stats         SP source, session, store, per-endpoint latency
+//	GET  /healthz          liveness (never gated by the concurrency bound)
+//
+// Queries are answered from the store — a vehicle becomes queryable once
+// its session has flushed (explicit flush, idle timeout, memory cap, or
+// server drain). Unknown ids are 404, engine refusals ("point not
+// locatable") are 422, malformed requests are 400, and a draining server
+// answers 503.
+//
+// Lifecycle mirrors the rest of the repo: the context given to New is the
+// hard-stop lifetime (cancel = discard open sessions), Shutdown(ctx) is the
+// graceful half — stop accepting, drain in-flight requests, flush every
+// open session to the store within ctx's budget (stream.Manager.Shutdown
+// semantics: on ctx expiry the remainder is discarded, everything already
+// appended stays). The Server borrows Store; the caller closes it after
+// Shutdown returns.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"press/internal/core"
+	"press/internal/geo"
+	"press/internal/query"
+	"press/internal/roadnet"
+	"press/internal/store"
+	"press/internal/stream"
+	"press/internal/traj"
+)
+
+// SPInfo mirrors the facade's SPStats accounting: how the shortest-path
+// source is resident (mapped snapshot vs Go heap) and how many rows were
+// materialized on the heap. CachedRows == 0 on a snapshot-booted daemon is
+// the "no Dijkstra at startup" invariant, surfaced in /v1/stats.
+type SPInfo struct {
+	Mapped      bool `json:"mapped"`
+	CachedRows  int  `json:"cached_rows"`
+	HeapBytes   int  `json:"heap_bytes"`
+	MappedBytes int  `json:"mapped_bytes"`
+}
+
+// Options tunes the serving behavior.
+type Options struct {
+	// MaxConcurrent bounds the requests processed at once (excess requests
+	// wait, respecting their own contexts); 0 = 4×GOMAXPROCS, negative =
+	// unbounded. /healthz bypasses the bound so liveness probes cannot be
+	// starved by load.
+	MaxConcurrent int
+	// Stream tunes the per-vehicle session layer (idle auto-flush, memory
+	// cap, sweep cadence). See stream.Options.
+	Stream stream.Options
+}
+
+// Config assembles a Server from its components. Engine, Compressor and
+// Store are required.
+type Config struct {
+	Engine     *query.Engine
+	Compressor *core.Compressor
+	Store      *store.ShardedStore
+	// SPInfo reports the shortest-path source accounting for /v1/stats;
+	// nil omits the section.
+	SPInfo func() SPInfo
+	Options
+}
+
+// Server is the HTTP serving layer over one PRESS system and one fleet
+// store. Create with New, expose with Handler / Serve / ListenAndServe,
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *query.Engine
+	st    *store.ShardedStore
+	mgr   *stream.Manager
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	hctx    context.Context // handler gate: done once Shutdown begins
+	hcancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	httpSrv  *http.Server
+
+	idxMu  sync.Mutex
+	idx    *query.FleetIndex
+	idxLen int
+
+	metrics map[string]*endpointMetrics
+}
+
+// New assembles a server. ctx is the hard-stop lifetime handed to the
+// stream session layer: cancelling it discards open sessions (use Shutdown
+// for the graceful drain).
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.Engine == nil || cfg.Compressor == nil || cfg.Store == nil {
+		return nil, errors.New("server: nil component")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mgr, err := stream.NewManager(ctx, cfg.Compressor, cfg.Store, cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	maxc := cfg.MaxConcurrent
+	if maxc == 0 {
+		maxc = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		st:      cfg.Store,
+		mgr:     mgr,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	s.hctx, s.hcancel = context.WithCancel(context.Background())
+	if maxc > 0 {
+		s.sem = make(chan struct{}, maxc)
+	}
+	s.route("POST /v1/ingest/{id}", "ingest", s.handleIngest)
+	s.route("GET /v1/whereat", "whereat", s.handleWhereAt)
+	s.route("GET /v1/whenat", "whenat", s.handleWhenAt)
+	s.route("GET /v1/range", "range", s.handleRange)
+	s.route("GET /v1/mindistance", "mindistance", s.handleMinDistance)
+	s.route("GET /v1/stats", "stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler — the integration point for
+// custom listeners and httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers a bounded, instrumented handler.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, s.bound(h)))
+}
+
+// bound gates h behind the concurrency semaphore and the drain state.
+func (s *Server) bound(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				writeErr(w, http.StatusServiceUnavailable, "request cancelled while queued")
+				return
+			case <-s.hctx.Done():
+				writeErr(w, http.StatusServiceUnavailable, "server draining")
+				return
+			}
+		}
+		if s.isDraining() {
+			writeErr(w, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// instrument wraps h with per-endpoint latency/error counters for /v1/stats.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := &endpointMetrics{}
+	s.metrics[name] = m
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		m.observe(time.Since(t0), sw.status)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Serve accepts connections on ln until Shutdown. It blocks; the
+// http.ErrServerClosed a graceful stop produces is swallowed.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.httpSrv = srv
+	s.mu.Unlock()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server: stop accepting connections, wait for
+// in-flight requests, then flush every open ingest session to the store —
+// all within ctx's budget (past the deadline, remaining sessions are
+// discarded; records already appended stay). Idempotent; the first call
+// wins. The caller closes the Store afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	srv := s.httpSrv
+	s.mu.Unlock()
+	s.hcancel() // unblock requests queued on the semaphore
+
+	var first error
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			first = err
+		}
+	}
+	if err := s.mgr.Shutdown(ctx); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Close is Shutdown with no deadline.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// Sessions returns the live session layer, for callers that want to feed
+// it in-process alongside the HTTP path.
+func (s *Server) Sessions() *stream.Manager { return s.mgr }
+
+// fleetIndex returns the STR-packed index over the current store contents,
+// rebuilt only when the store has grown since the last build (the record
+// count is the generation stamp — appends only ever add records).
+func (s *Server) fleetIndex() (*query.FleetIndex, error) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	n := s.st.Len()
+	if s.idx != nil && s.idxLen == n {
+		return s.idx, nil
+	}
+	idx, err := query.NewFleetIndexFromStore(s.eng, s.st)
+	if err != nil {
+		return nil, err
+	}
+	s.idx, s.idxLen = idx, n
+	return idx, nil
+}
+
+// --- wire types ---
+
+// pointMsg is one observation: the edge the vehicle entered, its (d, t)
+// sample, or both (edge first, matching trajectory order).
+type pointMsg struct {
+	Edge   *int64     `json:"edge,omitempty"`
+	Sample *sampleMsg `json:"sample,omitempty"`
+}
+
+type sampleMsg struct {
+	D float64 `json:"d"`
+	T float64 `json:"t"`
+}
+
+type ingestRequest struct {
+	Points []pointMsg `json:"points"`
+	Flush  bool       `json:"flush"`
+}
+
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Flushed  bool   `json:"flushed"`
+	Error    string `json:"error,omitempty"`
+}
+
+// maxIngestBody bounds one ingest request (1 MiB ≈ 40k points) so a single
+// request cannot balloon the daemon before the session cap even applies.
+const maxIngestBody = 1 << 20
+
+// --- handlers ---
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad vehicle id")
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Over the per-request cap is "split your batch", not a
+			// malformed request — same family as the session cap's 413.
+			writeErr(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	resp := ingestResponse{}
+	for _, p := range req.Points {
+		var err error
+		switch {
+		case p.Edge != nil && p.Sample != nil:
+			err = s.mgr.Push(id, roadnet.EdgeID(*p.Edge), p.Sample.entry())
+		case p.Edge != nil:
+			err = s.mgr.PushEdge(id, roadnet.EdgeID(*p.Edge))
+		case p.Sample != nil:
+			err = s.mgr.PushSample(id, p.Sample.entry())
+		default:
+			writeJSON(w, http.StatusBadRequest, ingestResponse{
+				Accepted: resp.Accepted, Error: "point has neither edge nor sample",
+			})
+			return
+		}
+		if err != nil {
+			resp.Error = err.Error()
+			switch {
+			case err == stream.ErrSessionTooLarge:
+				// The bare sentinel means the force-flush succeeded: the
+				// point was accepted and its record is in the store; the
+				// client learns its trajectory was cut. (A flush that
+				// failed arrives joined to the sentinel — the session was
+				// dropped with its data, which is a server-side 500, not a
+				// client-side 413.)
+				resp.Accepted++
+				resp.Flushed = true
+				writeJSON(w, http.StatusRequestEntityTooLarge, resp)
+			case errors.Is(err, stream.ErrManagerClosed), errors.Is(err, context.Canceled):
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+			default:
+				writeJSON(w, http.StatusInternalServerError, resp)
+			}
+			return
+		}
+		resp.Accepted++
+	}
+	if req.Flush {
+		if err := s.mgr.Flush(id); err != nil {
+			resp.Error = err.Error()
+			if errors.Is(err, stream.ErrManagerClosed) || errors.Is(err, context.Canceled) {
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+			} else {
+				writeJSON(w, http.StatusInternalServerError, resp)
+			}
+			return
+		}
+		resp.Flushed = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (m *sampleMsg) entry() traj.Entry { return traj.Entry{D: m.D, T: m.T} }
+
+func (s *Server) handleWhereAt(w http.ResponseWriter, r *http.Request) {
+	ct, ok := s.fetch(w, r, "id")
+	if !ok {
+		return
+	}
+	t, ok := parseFloat(w, r, "t")
+	if !ok {
+		return
+	}
+	p, err := s.eng.WhereAt(ct, t)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"x": p.X, "y": p.Y})
+}
+
+func (s *Server) handleWhenAt(w http.ResponseWriter, r *http.Request) {
+	ct, ok := s.fetch(w, r, "id")
+	if !ok {
+		return
+	}
+	x, ok := parseFloat(w, r, "x")
+	if !ok {
+		return
+	}
+	y, ok := parseFloat(w, r, "y")
+	if !ok {
+		return
+	}
+	t, err := s.eng.WhenAt(ct, geo.Point{X: x, Y: y})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"t": t})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	t1, ok := parseFloat(w, r, "t1")
+	if !ok {
+		return
+	}
+	t2, ok := parseFloat(w, r, "t2")
+	if !ok {
+		return
+	}
+	mbr, ok := parseMBR(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("id") == "" {
+		// Fleet-level: which stored vehicles crossed the region in the
+		// window? The R-tree prunes; survivors run the exact Range. The
+		// index covers every stored record — a vehicle whose trip was cut
+		// into several records (idle flush, session cap) matches on any of
+		// them, which is the natural "was it ever there" fleet semantics —
+		// so ids are deduplicated before responding.
+		idx, err := s.fleetIndex()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		pos, err := idx.RangeQuery(t1, t2, mbr)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		seen := make(map[uint64]bool, len(pos))
+		ids := make([]uint64, 0, len(pos))
+		for _, i := range pos {
+			if id := idx.RecordID(i); !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		writeJSON(w, http.StatusOK, map[string]any{"ids": ids})
+		return
+	}
+	ct, ok := s.fetch(w, r, "id")
+	if !ok {
+		return
+	}
+	hit, err := s.eng.Range(ct, t1, t2, mbr)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"hit": hit})
+}
+
+func (s *Server) handleMinDistance(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.fetch(w, r, "a")
+	if !ok {
+		return
+	}
+	b, ok := s.fetch(w, r, "b")
+	if !ok {
+		return
+	}
+	d, err := s.eng.MinDistance(a, b)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"distance": d})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// statsResponse is the /v1/stats document.
+type statsResponse struct {
+	SP       *SPInfo                    `json:"sp,omitempty"`
+	Sessions sessionStats               `json:"sessions"`
+	Store    storeStats                 `json:"store"`
+	Server   serverStats                `json:"server"`
+	Endpoint map[string]endpointSummary `json:"endpoints"`
+}
+
+type sessionStats struct {
+	Active  int    `json:"active"`
+	Flushed uint64 `json:"flushed"`
+	Points  uint64 `json:"points"`
+}
+
+type storeStats struct {
+	Records int   `json:"records"`
+	Shards  int   `json:"shards"`
+	Bytes   int64 `json:"bytes"`
+}
+
+type serverStats struct {
+	InFlight      int   `json:"in_flight"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	UptimeSeconds int64 `json:"uptime_s"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		Sessions: sessionStats{
+			Active:  s.mgr.Active(),
+			Flushed: s.mgr.Flushed(),
+			Points:  s.mgr.Pushes(),
+		},
+		Store: storeStats{
+			Records: s.st.Len(),
+			Shards:  s.st.Shards(),
+			Bytes:   s.st.SizeBytes(),
+		},
+		Server: serverStats{
+			InFlight:      len(s.sem),
+			MaxConcurrent: cap(s.sem),
+			UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		},
+		Endpoint: make(map[string]endpointSummary, len(s.metrics)),
+	}
+	if s.cfg.SPInfo != nil {
+		info := s.cfg.SPInfo()
+		resp.SP = &info
+	}
+	for name, m := range s.metrics {
+		resp.Endpoint[name] = m.summary()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fetch resolves the query parameter key to a stored compressed trajectory.
+func (s *Server) fetch(w http.ResponseWriter, r *http.Request, key string) (*core.Compressed, bool) {
+	raw := r.URL.Query().Get(key)
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad or missing "+key)
+		return nil, false
+	}
+	ct, err := s.st.Get(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("vehicle %d has no stored trajectory", id))
+		} else {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		}
+		return nil, false
+	}
+	return ct, true
+}
+
+// --- helpers ---
+
+func parseFloat(w http.ResponseWriter, r *http.Request, key string) (float64, bool) {
+	v, err := strconv.ParseFloat(r.URL.Query().Get(key), 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad or missing "+key)
+		return 0, false
+	}
+	return v, true
+}
+
+func parseMBR(w http.ResponseWriter, r *http.Request) (geo.MBR, bool) {
+	xmin, ok := parseFloat(w, r, "xmin")
+	if !ok {
+		return geo.MBR{}, false
+	}
+	ymin, ok := parseFloat(w, r, "ymin")
+	if !ok {
+		return geo.MBR{}, false
+	}
+	xmax, ok := parseFloat(w, r, "xmax")
+	if !ok {
+		return geo.MBR{}, false
+	}
+	ymax, ok := parseFloat(w, r, "ymax")
+	if !ok {
+		return geo.MBR{}, false
+	}
+	return geo.NewMBR(geo.Point{X: xmin, Y: ymin}, geo.Point{X: xmax, Y: ymax}), true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// statusWriter captures the response status for the endpoint metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointMetrics are lock-free per-endpoint latency counters.
+type endpointMetrics struct {
+	count   atomic.Uint64
+	errs    atomic.Uint64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration, status int) {
+	m.count.Add(1)
+	if status >= 400 {
+		m.errs.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNS.Add(ns)
+	for {
+		cur := m.maxNS.Load()
+		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// endpointSummary is the JSON view of one endpoint's counters.
+type endpointSummary struct {
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	MeanUS int64  `json:"mean_us"`
+	MaxUS  int64  `json:"max_us"`
+}
+
+func (m *endpointMetrics) summary() endpointSummary {
+	n := m.count.Load()
+	s := endpointSummary{
+		Count:  n,
+		Errors: m.errs.Load(),
+		MaxUS:  m.maxNS.Load() / 1e3,
+	}
+	if n > 0 {
+		s.MeanUS = m.totalNS.Load() / int64(n) / 1e3
+	}
+	return s
+}

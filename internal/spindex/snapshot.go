@@ -235,11 +235,20 @@ func OpenMapped(path string, g *roadnet.Graph) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spindex: mapping snapshot: %w", err)
 	}
+	// Validation reads the file front to back; tell the kernel so it
+	// readaheads instead of faulting page by page.
+	madviseSequential(data)
 	s, err := parseSnapshot(data, g)
 	if err != nil {
 		unmap()
 		return nil, err
 	}
+	// The mapping is valid and about to serve random row lookups: drop the
+	// (persistent) sequential advice, then ask the kernel to keep paging
+	// the file in so a daemon's first queries after a cold boot do not
+	// stall on faults.
+	madviseNormal(data)
+	madviseWillNeed(data)
 	s.unmap = unmap
 	return s, nil
 }

@@ -42,6 +42,14 @@ import (
 // cause) — the same convention the pipeline uses.
 var ErrManagerClosed = errors.New("stream: manager closed")
 
+// ErrSessionTooLarge is returned by a push that drove a session past
+// Options.MaxSessionBytes. The push itself was accepted: the session is
+// force-flushed to the sink *including* the offending point, so no data is
+// lost — the error tells the caller the trajectory was cut at this point
+// and the vehicle's next push starts a fresh session. Match with errors.Is
+// (a failing force-flush joins its error to this one).
+var ErrSessionTooLarge = errors.New("stream: session exceeds memory cap")
+
 // Sink receives finished session records keyed by trajectory id;
 // store.ShardedStore satisfies it.
 type Sink interface {
@@ -58,6 +66,13 @@ type Options struct {
 	// (0 = IdleFlush/2, floored at 10ms). Only consulted when IdleFlush is
 	// set.
 	SweepEvery time.Duration
+	// MaxSessionBytes caps the retained memory of a single session
+	// (OnlineCompressor.MemoryBytes); 0 = unlimited. A push that breaches
+	// the cap force-flushes the session — point included, nothing lost —
+	// and returns ErrSessionTooLarge, so one runaway vehicle (a trip that
+	// never ends, or data that does not compress) cannot grow without
+	// bound inside the daemon.
+	MaxSessionBytes int
 	// OnError observes flush failures on the background sweep path, where
 	// there is no caller to return them to. May be nil.
 	OnError func(id uint64, err error)
@@ -207,6 +222,20 @@ func (m *Manager) withSession(id uint64, fn func(*session)) error {
 		}
 		fn(s)
 		s.at = time.Now()
+		if max := m.opt.MaxSessionBytes; max > 0 && s.oc.MemoryBytes() > max {
+			// Force-flush under the held lock: the record includes the
+			// point just accepted, so breaching the cap truncates the
+			// trajectory here instead of dropping anything. The next push
+			// for this id opens a fresh session.
+			err := m.flushLocked(s)
+			s.mu.Unlock()
+			m.removeSession(s)
+			m.pushes.Add(1)
+			if err != nil {
+				return errors.Join(ErrSessionTooLarge, err)
+			}
+			return ErrSessionTooLarge
+		}
 		s.mu.Unlock()
 		m.pushes.Add(1)
 		return nil
@@ -259,6 +288,16 @@ func (m *Manager) flushSessionIf(s *session, cond func() bool) error {
 		s.mu.Unlock()
 		return nil
 	}
+	err := m.flushLocked(s)
+	s.mu.Unlock()
+	m.removeSession(s)
+	return err
+}
+
+// flushLocked finalizes s — record appended to the sink unless the session
+// is empty — and marks it ended. s.mu must be held; the caller unmaps the
+// session afterwards.
+func (m *Manager) flushLocked(s *session) error {
 	var err error
 	if !s.oc.Empty() {
 		var ct *core.Compressed
@@ -269,8 +308,6 @@ func (m *Manager) flushSessionIf(s *session, cond func() bool) error {
 		}
 	}
 	s.end = true
-	s.mu.Unlock()
-	m.removeSession(s)
 	return err
 }
 

@@ -390,6 +390,172 @@ func TestFlushVisibleBeforeSessionDisappears(t *testing.T) {
 	}
 }
 
+// A push that drives a session past MaxSessionBytes must force-flush it —
+// point included, ErrSessionTooLarge returned — and the next push must open
+// a fresh session. Concatenating the decompressed paths of every record the
+// breaches produced (plus the final explicit flush) must recover the full
+// pushed edge sequence exactly: the cap truncates trajectories, it never
+// drops data.
+func TestSessionMemoryCapForceFlush(t *testing.T) {
+	comp, ds, st := fixture(t)
+	// Zero temporal bounds make BTC retain nearly every sample of the noisy
+	// synthetic feed, so the session's retained memory actually grows.
+	strict, err := core.NewCompressor(comp.Graph, comp.SP, comp.CB, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(context.Background(), strict, st, Options{MaxSessionBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const id = 3
+	// The longest available trajectory, fed three times over (as three
+	// consecutive trips of one vehicle) to guarantee breaches.
+	tr := ds.Truth[0]
+	for _, cand := range ds.Truth {
+		if len(cand.Path) > len(tr.Path) {
+			tr = cand
+		}
+	}
+	var pushed []roadnet.EdgeID
+	breaches := 0
+	for rep := 0; rep < 3; rep++ {
+		// Later reps continue the vehicle's stream, so T stays strictly
+		// increasing and D non-decreasing (the session spans the reps).
+		off := float64(rep) * (tr.Temporal[len(tr.Temporal)-1].T + 60)
+		dOff := float64(rep) * (tr.Temporal[len(tr.Temporal)-1].D + 1)
+		err := tr.Replay(
+			func(e roadnet.EdgeID) error {
+				err := m.PushEdge(id, e)
+				if errors.Is(err, ErrSessionTooLarge) {
+					breaches++
+					// The session was flushed around this point: its record
+					// must already be in the sink.
+					if _, gerr := st.Get(id); gerr != nil {
+						return gerr
+					}
+					err = nil
+				}
+				if err == nil {
+					pushed = append(pushed, e)
+				}
+				return err
+			},
+			func(p traj.Entry) error {
+				err := m.PushSample(id, traj.Entry{D: p.D + dOff, T: p.T + off})
+				if errors.Is(err, ErrSessionTooLarge) {
+					breaches++
+					err = nil
+				}
+				return err
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(id); err != nil {
+		t.Fatal(err)
+	}
+	if breaches == 0 {
+		t.Fatal("cap of 256 bytes never breached over 3 replays; MemoryBytes not growing?")
+	}
+	// Every breach plus the final flush appended one record.
+	if got := st.Len(); got != breaches+1 {
+		t.Fatalf("store has %d records, want %d (breaches) + 1", got, breaches)
+	}
+	// Spatial losslessness across the cut points: the segments concatenate
+	// back to exactly the pushed edge sequence.
+	var recovered []roadnet.EdgeID
+	err = st.Scan(func(_ uint64, ct *core.Compressed) error {
+		seg, err := strict.Decompress(ct)
+		if err != nil {
+			return err
+		}
+		recovered = append(recovered, seg.Path...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(pushed) {
+		t.Fatalf("recovered %d edges across segments, pushed %d", len(recovered), len(pushed))
+	}
+	for i := range pushed {
+		if recovered[i] != pushed[i] {
+			t.Fatalf("edge %d: recovered %d, pushed %d", i, recovered[i], pushed[i])
+		}
+	}
+}
+
+// A cap breach whose force-flush fails must NOT return the bare sentinel:
+// callers (the HTTP 413 path) distinguish "cut but persisted" (err ==
+// ErrSessionTooLarge) from "cut and lost" (sentinel joined with the sink
+// error) — both match errors.Is.
+func TestSessionCapFlushFailureJoins(t *testing.T) {
+	comp, ds, _ := fixture(t)
+	strict, err := core.NewCompressor(comp.Graph, comp.SP, comp.CB, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(context.Background(), strict, failAppendSink{}, Options{MaxSessionBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr := ds.Truth[0]
+	for _, cand := range ds.Truth {
+		if len(cand.Path) > len(tr.Path) {
+			tr = cand
+		}
+	}
+	var got error
+	_ = tr.Replay(
+		func(e roadnet.EdgeID) error {
+			if err := m.PushEdge(7, e); err != nil {
+				got = err
+				return err
+			}
+			return nil
+		},
+		func(p traj.Entry) error {
+			if err := m.PushSample(7, p); err != nil {
+				got = err
+				return err
+			}
+			return nil
+		},
+	)
+	if got == nil {
+		t.Fatal("cap never breached against the failing sink")
+	}
+	if !errors.Is(got, ErrSessionTooLarge) {
+		t.Fatalf("breach error %v does not match ErrSessionTooLarge", got)
+	}
+	if got == ErrSessionTooLarge {
+		t.Fatal("failed force-flush returned the bare sentinel; the sink error was swallowed")
+	}
+	if m.Active() != 0 {
+		t.Fatal("breached session left open after failed flush")
+	}
+}
+
+// Without a cap, the same feed never sees ErrSessionTooLarge.
+func TestSessionNoCapByDefault(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	feed(t, m, 8, ds.Truth[0]) // feed fails the test on any push error
+	if err := m.Flush(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // After an external lifetime cancel, Flush/FlushAll must refuse instead of
 // persisting sessions the hard stop discarded.
 func TestFlushRefusesAfterLifetimeCancel(t *testing.T) {

@@ -56,6 +56,7 @@ import (
 	"press/internal/pipeline"
 	"press/internal/query"
 	"press/internal/roadnet"
+	"press/internal/server"
 	"press/internal/spindex"
 	"press/internal/store"
 	"press/internal/stream"
@@ -507,6 +508,12 @@ type StreamOptions = stream.Options
 // ErrStreamClosed is returned by StreamIngestor pushes after Shutdown.
 var ErrStreamClosed = stream.ErrManagerClosed
 
+// ErrSessionTooLarge is returned by a stream-ingest push that drove its
+// session past StreamOptions.MaxSessionBytes. The point was accepted and
+// the session force-flushed around it (nothing lost); the server layer
+// surfaces it as HTTP 413.
+var ErrSessionTooLarge = stream.ErrSessionTooLarge
+
 // NewStreamIngestor opens the live ingest path over this system's online
 // codec: per-vehicle sessions keyed by trajectory id, each compressing
 // edges and samples the moment their windows close, flushed to sink on
@@ -527,6 +534,36 @@ func (s *System) NewStreamIngestorOptions(ctx context.Context, sink StreamSink, 
 		opt.IdleFlush = s.cfg.SessionIdleFlush
 	}
 	return stream.NewManager(ctx, s.compressor, sink, opt)
+}
+
+// Server is the HTTP/JSON serving daemon layer: live per-vehicle ingest
+// through the stream session layer plus the paper's LBS queries answered
+// against stored compressed trajectories. See internal/server for the wire
+// protocol and cmd/pressd for the packaged binary.
+type Server = server.Server
+
+// ServerOptions tunes a Server (concurrency bound, session layer).
+type ServerOptions = server.Options
+
+// NewServer assembles the HTTP serving layer over this system and the given
+// fleet store: POST /v1/ingest/{id} feeds per-vehicle sessions that flush
+// into st, and /v1/whereat, /v1/whenat, /v1/range (single-vehicle and
+// fleet-index-backed), /v1/mindistance, /healthz and /v1/stats serve reads.
+// ctx is the hard-stop lifetime (cancel = discard open sessions); use
+// Server.Shutdown for the graceful drain. The server borrows st — close it
+// after Shutdown returns. A zero opt.Stream.IdleFlush falls back to
+// Config.SessionIdleFlush, mirroring NewStreamIngestor.
+func (s *System) NewServer(ctx context.Context, st *ShardedFleetStore, opt ServerOptions) (*Server, error) {
+	if opt.Stream.IdleFlush == 0 {
+		opt.Stream.IdleFlush = s.cfg.SessionIdleFlush
+	}
+	return server.New(ctx, server.Config{
+		Engine:     s.engine,
+		Compressor: s.compressor,
+		Store:      st,
+		SPInfo:     func() server.SPInfo { return server.SPInfo(s.SPStats()) },
+		Options:    opt,
+	})
 }
 
 // Decompress recovers a trajectory: the spatial path is exactly the

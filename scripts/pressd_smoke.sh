@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# pressd end-to-end smoke: generate a workload, boot the daemon against a
+# fresh snapshot + store, verify /healthz, one ingest+query round-trip and
+# the snapshot-boot invariant (zero Dijkstra rows), then SIGTERM and assert
+# a clean (exit 0) drain. CI runs this on every push; `make smoke` runs it
+# locally.
+set -euo pipefail
+
+PORT="${PRESSD_SMOKE_PORT:-18466}"
+BASE="http://127.0.0.1:${PORT}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pressd" ./cmd/pressd
+go run ./cmd/pressgen -out "$tmp/data" -trips 60 -rows 8 -cols 8 >/dev/null
+
+"$tmp/pressd" -net "$tmp/data/network.txt" -train "$tmp/data/trips.txt" \
+    -snapshot "$tmp/sp.snap" -init -store "$tmp/fleet" \
+    -addr "127.0.0.1:${PORT}" >"$tmp/pressd.log" 2>&1 &
+pid=$!
+
+# Wait for the daemon to come up (snapshot build + mmap boot).
+up=""
+for _ in $(seq 1 150); do
+    if curl -fs "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$pid" 2>/dev/null || { echo "pressd died during boot:"; cat "$tmp/pressd.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "pressd never became healthy:"; cat "$tmp/pressd.log"; exit 1; }
+
+curl -fs "$BASE/healthz" | grep -q '"status":"ok"'
+
+# One ingest + query round-trip: a single-edge trip for vehicle 7.
+curl -fs -X POST "$BASE/v1/ingest/7" -H 'Content-Type: application/json' \
+    -d '{"points":[{"edge":0,"sample":{"d":0,"t":0}},{"sample":{"d":120,"t":60}}],"flush":true}' \
+    | grep -q '"accepted":2'
+curl -fs "$BASE/v1/whereat?id=7&t=30" | grep -q '"x"'
+
+# Snapshot-boot invariant: serving must have done zero Dijkstra work.
+curl -fs "$BASE/v1/stats" | grep -q '"mapped":true'
+curl -fs "$BASE/v1/stats" | grep -q '"cached_rows":0'
+
+# Graceful drain: SIGTERM must produce a clean exit 0.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "pressd did not exit cleanly:"; cat "$tmp/pressd.log"; exit 1
+fi
+pid=""
+grep -q "clean exit" "$tmp/pressd.log"
+echo "pressd smoke OK"
