@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench spbench serverbench serve smoke fuzz ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench serverbench querybench serve smoke fuzz ci
 
 all: ci
 
@@ -40,6 +40,12 @@ spbench:
 # requests/s at 1/2/4/8 concurrent clients over loopback.
 serverbench:
 	$(GO) run ./cmd/pressbench -fig serverbench
+
+# Compressed-domain query scaling: fleet-range p50 at 1x/10x/100x stored
+# history over the incremental index, asserting no STR rebuilds and
+# summary-based pruning via /v1/stats counters.
+querybench:
+	$(GO) run ./cmd/pressbench -fig querybench
 
 # Boot the serving daemon on a freshly generated demo workload (ctrl-C or
 # SIGTERM drains and exits cleanly).

@@ -13,9 +13,11 @@
 // throughput vs worker count; -workers sets the top of the sweep),
 // storebench (sharded fleet-store append throughput at 1/2/4/8 shards),
 // streambench (live per-vehicle session ingest: per-point push latency and
-// sessions/s at 1/2/4/8 concurrent feeders) and serverbench (the pressd
+// sessions/s at 1/2/4/8 concurrent feeders), serverbench (the pressd
 // HTTP serving layer over loopback: ingest points/s over the wire, then
-// whereat requests/s at 1/2/4/8 concurrent clients).
+// whereat requests/s at 1/2/4/8 concurrent clients) and querybench
+// (fleet-range p50 at 1x/10x/100x stored history: the incremental index +
+// bounding summaries must keep latency flat as old epochs accumulate).
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -78,7 +81,8 @@ func main() {
 	// so runs of just those skip the O(|E|^2) cost.
 	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") ||
 		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench") ||
-		strings.EqualFold(*fig, "spbench") || strings.EqualFold(*fig, "serverbench")) {
+		strings.EqualFold(*fig, "spbench") || strings.EqualFold(*fig, "serverbench") ||
+		strings.EqualFold(*fig, "querybench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -176,6 +180,9 @@ func main() {
 		{"serverbench", func() error {
 			return runServerBenchScenario(env, *workers)
 		}},
+		{"querybench", func() error {
+			return runQueryBenchScenario(env)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -199,7 +206,7 @@ func main() {
 var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
-	"storebench", "streambench", "spbench", "serverbench",
+	"storebench", "streambench", "spbench", "serverbench", "querybench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -678,6 +685,231 @@ func runServerBenchScenario(env *experiments.Env, workers int) error {
 			(elapsed / requests * time.Duration(c)).Round(time.Microsecond),
 			elapsed.Round(time.Millisecond), rate/base1)
 	}
+	fmt.Println()
+	return nil
+}
+
+// runQueryBenchScenario measures the compressed-domain query engine as
+// stored history grows: the fleet is replicated at 1x/10x/100x with each
+// replica batch shifted into its own past time epoch, while the fleet-range
+// query window stays fixed over the newest epoch. With the incremental
+// index + bounding summaries the p50 must stay roughly flat (old epochs are
+// pruned by time before any payload work) — the protocol EXPERIMENTS.md
+// documents. The run fails if the /v1/stats counters show a full STR
+// rebuild, zero summary rejections, or zero in-place index updates.
+func runQueryBenchScenario(env *experiments.Env) error {
+	g := env.DS.Graph
+	comp, err := env.Compressor(100, 60)
+	if err != nil {
+		return err
+	}
+	eng, err := query.NewEngine(g, env.Tab, env.CB)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "press-querybench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.CreateSharded(filepath.Join(dir, "fleet"), 4)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	srv, err := server.New(context.Background(), server.Config{
+		Engine: eng, Compressor: comp, Store: st,
+		Options: server.Options{IncrementalIndex: true},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+
+	cts, err := comp.CompressAll(env.DS.Truth)
+	if err != nil {
+		return err
+	}
+	var maxT float64
+	for _, ct := range cts {
+		if n := len(ct.Temporal); n > 0 && ct.Temporal[n-1].T > maxT {
+			maxT = ct.Temporal[n-1].T
+		}
+	}
+	epoch := maxT + 1000 // each replica batch lives in its own time epoch
+
+	// shifted clones ct into a past epoch: same spatial payload, temporal
+	// sequence and summary translated by -off seconds.
+	shifted := func(ct *core.Compressed, off float64) *core.Compressed {
+		temporal := make(traj.Temporal, len(ct.Temporal))
+		for i, e := range ct.Temporal {
+			temporal[i] = traj.Entry{D: e.D, T: e.T - off}
+		}
+		out := &core.Compressed{Spatial: ct.Spatial, Temporal: temporal}
+		if ct.Summary != nil {
+			sum := *ct.Summary
+			sum.T0 -= off
+			sum.T1 -= off
+			out.Summary = &sum
+		}
+		return out
+	}
+
+	// Fixed query schedule over the newest epoch (offset 0): deterministic
+	// pseudo-random rectangles + time windows, identical at every scale.
+	world := g.MBR()
+	queryURL := func(q int) string {
+		h := uint64(q)*2654435761 + 12345
+		fx := float64(h%1000) / 1000
+		fy := float64((h/1000)%1000) / 1000
+		cx := world.MinX + fx*(world.MaxX-world.MinX)
+		cy := world.MinY + fy*(world.MaxY-world.MinY)
+		half := 150 + float64(h%7)*50
+		t1 := float64(h%800) * maxT / 800
+		return fmt.Sprintf("%s/v1/range?t1=%f&t2=%f&xmin=%f&ymin=%f&xmax=%f&ymax=%f",
+			base, t1, t1+maxT/4, cx-half, cy-half, cx+half, cy+half)
+	}
+
+	type indexCounters struct {
+		Index struct {
+			Mode        string `json:"mode"`
+			Rebuilds    uint64 `json:"rebuilds"`
+			Applied     uint64 `json:"applied"`
+			Incremental *struct {
+				Upserts        uint64 `json:"upserts"`
+				Refreshes      uint64 `json:"refreshes"`
+				SummaryRejects uint64 `json:"summary_rejects"`
+				BucketsSkipped uint64 `json:"buckets_skipped"`
+				Verifies       uint64 `json:"verifies"`
+			} `json:"incremental"`
+		} `json:"index"`
+		Query struct {
+			Cache struct {
+				Hits uint64 `json:"hits"`
+			} `json:"cache"`
+		} `json:"query"`
+	}
+	getStats := func() (indexCounters, error) {
+		var out indexCounters
+		resp, err := client.Get(base + "/v1/stats")
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+
+	fmt.Println("querybench: fleet-range latency vs stored history (incremental index + summaries)")
+	fmt.Printf("fleet %d vehicles/epoch; fixed query window over the newest epoch\n", len(cts))
+	fmt.Printf("%8s %9s %10s %10s %10s %12s %12s %10s\n",
+		"scale", "records", "p50", "p90", "rebuilds", "sumrejects", "bucketskip", "verifies")
+
+	const queries = 300
+	appended := 0
+	p50s := make(map[int]time.Duration)
+	var last indexCounters
+	for _, scale := range []int{1, 10, 100} {
+		for ; appended < scale; appended++ {
+			off := float64(appended) * epoch
+			for j, ct := range cts {
+				id := uint64(appended*len(cts) + j)
+				rec := ct
+				if appended > 0 {
+					rec = shifted(ct, off)
+				}
+				if err := st.Append(id, rec); err != nil {
+					return err
+				}
+			}
+		}
+		// One warm-up pass absorbs the post-append metadata refresh, so the
+		// measured pass sees steady state at this scale.
+		for q := 0; q < 20; q++ {
+			resp, err := client.Get(queryURL(q))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		durs := make([]time.Duration, 0, queries)
+		for q := 0; q < queries; q++ {
+			t0 := time.Now()
+			resp, err := client.Get(queryURL(q))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("querybench: fleet range: HTTP %d", resp.StatusCode)
+			}
+			durs = append(durs, time.Since(t0))
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		p50s[scale] = durs[len(durs)/2]
+		last, err = getStats()
+		if err != nil {
+			return err
+		}
+		inc := last.Index.Incremental
+		if inc == nil {
+			return fmt.Errorf("querybench: incremental counters missing from /v1/stats")
+		}
+		fmt.Printf("%7dx %9d %10v %10v %10d %12d %12d %10d\n",
+			scale, st.Len(), p50s[scale].Round(time.Microsecond),
+			durs[len(durs)*9/10].Round(time.Microsecond),
+			last.Index.Rebuilds, inc.SummaryRejects, inc.BucketsSkipped, inc.Verifies)
+	}
+
+	// In-place maintenance: a live HTTP ingest+flush must land in the index
+	// as an upsert (no scan, no rebuild).
+	before := last.Index.Applied
+	liveID := appended*len(cts) + 1
+	edge0 := int64(env.DS.Truth[0].Path[0])
+	body, _ := json.Marshal(map[string]any{
+		"points": []map[string]any{
+			{"edge": edge0},
+			{"sample": map[string]float64{"d": 0, "t": 1}},
+			{"sample": map[string]float64{"d": 1, "t": 2}},
+		},
+		"flush": true,
+	})
+	resp, err := client.Post(fmt.Sprintf("%s/v1/ingest/%d", base, liveID), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("querybench: live ingest: HTTP %d", resp.StatusCode)
+	}
+	last, err = getStats()
+	if err != nil {
+		return err
+	}
+
+	ratio := float64(p50s[100]) / float64(p50s[1])
+	fmt.Printf("\np50 growth 1x -> 100x: %.2fx (flat-latency target: <= 2x)\n", ratio)
+	switch {
+	case last.Index.Rebuilds != 0:
+		return fmt.Errorf("querybench: %d full STR rebuilds in incremental mode", last.Index.Rebuilds)
+	case last.Index.Incremental.SummaryRejects == 0:
+		return fmt.Errorf("querybench: summaries never rejected a candidate")
+	case last.Index.Applied != before+1:
+		return fmt.Errorf("querybench: live flush not applied in place (applied %d -> %d)",
+			before, last.Index.Applied)
+	}
+	fmt.Printf("counters: rebuilds=0, summary_rejects=%d, buckets_skipped=%d, in-place updates=%d, cache hits=%d\n",
+		last.Index.Incremental.SummaryRejects, last.Index.Incremental.BucketsSkipped,
+		last.Index.Applied, last.Query.Cache.Hits)
 	fmt.Println()
 	return nil
 }

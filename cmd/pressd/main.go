@@ -60,6 +60,8 @@ func main() {
 		idle     = flag.Duration("idle-flush", 30*time.Second, "auto-flush sessions idle this long (0 = never)")
 		maxSess  = flag.Int("max-session-bytes", 1<<20, "per-session retained-memory cap (0 = unlimited)")
 		maxConc  = flag.Int("max-concurrent", 0, "max concurrent requests (0 = 4x GOMAXPROCS, <0 = unbounded)")
+		cacheB   = flag.Int("cachebytes", 0, "query cache budget in bytes (0 = server default, <0 = off)")
+		incIdx   = flag.Bool("incremental", false, "maintain the fleet index incrementally on each flush (no STR rebuilds)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -101,8 +103,10 @@ func main() {
 	}
 
 	srv, err := sys.NewServer(context.Background(), st, press.ServerOptions{
-		MaxConcurrent: *maxConc,
-		Stream:        press.StreamOptions{MaxSessionBytes: *maxSess},
+		MaxConcurrent:    *maxConc,
+		Stream:           press.StreamOptions{MaxSessionBytes: *maxSess},
+		QueryCacheBytes:  *cacheB,
+		IncrementalIndex: *incIdx,
 	})
 	if err != nil {
 		st.Close()

@@ -46,6 +46,13 @@ func (c *Compressor) HSC() *HSC { return NewHSC(c.SP, c.CB) }
 type Compressed struct {
 	Spatial  *SpatialCode
 	Temporal traj.Temporal
+
+	// Summary is the compressed-domain query filter derived at compress
+	// time. It is NOT part of the Marshal wire format and does not count
+	// toward SizeBytes (the paper's compression-ratio metric); the store
+	// layer persists it alongside the payload. May be nil for records read
+	// from pre-summary stores.
+	Summary *BoundingSummary
 }
 
 // SizeBytes is the serialized storage cost: a 4-byte spatial bit-length
@@ -62,7 +69,12 @@ func (c *Compressor) Compress(t *traj.Trajectory) (*Compressed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compressed{Spatial: sc, Temporal: BTC(t.Temporal, c.Tau, c.Eta)}, nil
+	temporal := BTC(t.Temporal, c.Tau, c.Eta)
+	return &Compressed{
+		Spatial:  sc,
+		Temporal: temporal,
+		Summary:  SummarizeTrajectory(c.Graph, t.Path, temporal),
+	}, nil
 }
 
 // Decompress recovers the trajectory: the spatial path exactly, the temporal

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"press/internal/geo"
 	"press/internal/roadnet"
 	"press/internal/spindex"
 	"press/internal/traj"
@@ -181,6 +182,7 @@ type OnlineCompressor struct {
 	btc     *OnlineBTC
 	path    traj.Path     // retained SP-compressed edges
 	temp    traj.Temporal // retained temporal tuples
+	mbr     geo.MBR       // union of raw-edge MBRs, for the BoundingSummary
 	edges   int           // raw edges pushed since the last Reset/Flush
 	samples int           // raw tuples pushed since the last Reset/Flush
 }
@@ -191,15 +193,23 @@ func NewOnlineCompressor(c *Compressor) (*OnlineCompressor, error) {
 	if c == nil {
 		return nil, errors.New("core: nil compressor")
 	}
-	o := &OnlineCompressor{c: c}
+	o := &OnlineCompressor{c: c, mbr: geo.EmptyMBR()}
 	o.sp = NewOnlineSP(c.SP, func(e roadnet.EdgeID) { o.path = append(o.path, e) })
 	o.btc = NewOnlineBTC(c.Tau, c.Eta, func(p traj.Entry) { o.temp = append(o.temp, p) })
 	return o, nil
 }
 
-// PushEdge feeds the next traversed edge of the spatial path.
+// PushEdge feeds the next traversed edge of the spatial path. The edge's
+// geometry MBR is folded into the running bounding summary — raw edges,
+// exactly the set the batch path summarizes, so the Flush summary matches
+// Compressor.Compress bit for bit.
 func (o *OnlineCompressor) PushEdge(e roadnet.EdgeID) {
 	o.edges++
+	// An out-of-range edge is tolerated here — it fails the FST encode at
+	// Flush with a proper error — so it must not blow up the MBR fold.
+	if i := int(e); i >= 0 && i < o.c.Graph.NumEdges() {
+		o.mbr.ExtendMBR(o.c.Graph.Edge(e).MBR())
+	}
 	o.sp.Push(e)
 }
 
@@ -244,7 +254,11 @@ func (o *OnlineCompressor) Flush() (*Compressed, error) {
 		o.Reset()
 		return nil, err
 	}
-	ct := &Compressed{Spatial: sc, Temporal: o.temp}
+	sum := &BoundingSummary{MBR: o.mbr, T0: math.Inf(1), T1: math.Inf(-1)}
+	if n := len(o.temp); n > 0 {
+		sum.T0, sum.T1 = o.temp[0].T, o.temp[n-1].T
+	}
+	ct := &Compressed{Spatial: sc, Temporal: o.temp, Summary: sum}
 	o.path, o.temp = nil, nil
 	o.Reset()
 	return ct, nil
@@ -256,5 +270,6 @@ func (o *OnlineCompressor) Reset() {
 	o.btc.Reset()
 	o.path = o.path[:0]
 	o.temp = o.temp[:0]
+	o.mbr = geo.EmptyMBR()
 	o.edges, o.samples = 0, 0
 }

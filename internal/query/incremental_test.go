@@ -1,0 +1,235 @@
+package query
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"press/internal/geo"
+	"press/internal/store"
+)
+
+// incFixture builds a sharded store with the fixture fleet, a cached view
+// over it, and an incremental index refreshed from the store.
+func incFixture(t *testing.T, bucketSeconds float64) (*fixture, *store.ShardedStore, *View, *IncrementalFleetIndex) {
+	t.Helper()
+	f := newFixture(t, 0, 0)
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st, err := store.CreateSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for i, ct := range f.cts {
+		if err := st.Append(uint64(i), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := NewView(f.eng, st, NewCache(8<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIncrementalFleetIndex(v, bucketSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.RefreshFromStore(st); err != nil {
+		t.Fatal(err)
+	}
+	return f, st, v, ix
+}
+
+// The incremental index must return exactly the ids the STR FleetIndex
+// returns, over many random windows and both bucket granularities.
+func TestIncrementalMatchesSTR(t *testing.T) {
+	for _, width := range []float64{0, 100} { // default hourly, and many small buckets
+		f, st, _, ix := incFixture(t, width)
+		str, err := NewFleetIndexFromStore(f.eng, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Len() != str.Len() {
+			t.Fatalf("width %v: len %d want %d", width, ix.Len(), str.Len())
+		}
+		netMBR := f.ds.Graph.MBR()
+		rng := rand.New(rand.NewSource(29))
+		for trial := 0; trial < 60; trial++ {
+			cx := netMBR.MinX + rng.Float64()*(netMBR.MaxX-netMBR.MinX)
+			cy := netMBR.MinY + rng.Float64()*(netMBR.MaxY-netMBR.MinY)
+			half := 50 + rng.Float64()*600
+			r := geo.NewMBR(geo.Point{X: cx - half, Y: cy - half}, geo.Point{X: cx + half, Y: cy + half})
+			t1 := rng.Float64() * 500
+			t2 := t1 + rng.Float64()*500
+			want, err := str.RangeIDs(t1, t2, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.RangeIDs(t1, t2, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("width %v trial %d: RangeIDs %v want %v", width, trial, got, want)
+			}
+			dist := 50 + rng.Float64()*400
+			wantN, err := str.NearbyIDs(geo.Point{X: cx, Y: cy}, dist, t1, t2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotN, err := ix.NearbyIDs(geo.Point{X: cx, Y: cy}, dist, t1, t2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotN, wantN) {
+				t.Fatalf("width %v trial %d: NearbyIDs %v want %v", width, trial, gotN, wantN)
+			}
+		}
+		stats := ix.Stats()
+		if stats.Verifies == 0 {
+			t.Error("no candidates were ever verified")
+		}
+	}
+}
+
+// Upsert and Delete keep the index in sync without refreshes, including
+// the swap-delete path and re-insertion into a different time bucket.
+func TestIncrementalUpsertDelete(t *testing.T) {
+	f, st, _, ix := incFixture(t, 100)
+	all := f.ds.Graph.MBR()
+	// Baseline: everything matches the whole-world query.
+	ids, err := ix.RangeIDs(0, 1e9, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(f.cts) {
+		t.Fatalf("baseline hit %d ids, want %d", len(ids), len(f.cts))
+	}
+	// Delete half the fleet from the index only.
+	for i := 0; i < len(f.cts); i += 2 {
+		ix.Delete(uint64(i))
+	}
+	ids, err = ix.RangeIDs(0, 1e9, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id%2 == 0 {
+			t.Fatalf("deleted id %d still returned", id)
+		}
+	}
+	if len(ids) != len(f.cts)/2 {
+		t.Fatalf("after deletes: %d ids, want %d", len(ids), len(f.cts)/2)
+	}
+	// Re-upsert with nil summary: resolved through the view/store.
+	for i := 0; i < len(f.cts); i += 2 {
+		if err := ix.Upsert(uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err = ix.RangeIDs(0, 1e9, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(f.cts) {
+		t.Fatalf("after re-upserts: %d ids, want %d", len(ids), len(f.cts))
+	}
+	// Replace a record in the store, upsert, and confirm the index answer
+	// tracks the new record rather than the old one.
+	if err := st.Append(0, f.cts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Upsert(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, sum1, err := NewMustView(t, f, st).Summary(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.RangeIDs(sum1.T0, sum1.T1, sum1.MBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range got {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("replaced record (id 0 now = trip 1) not found in trip 1's window")
+	}
+	st2 := ix.Stats()
+	if st2.Upserts == 0 || st2.Deletes == 0 {
+		t.Errorf("counters not advancing: %+v", st2)
+	}
+	// Deleting an absent id is a no-op.
+	before := ix.Stats().Deletes
+	ix.Delete(999999)
+	if ix.Stats().Deletes != before {
+		t.Error("deleting an absent id bumped the counter")
+	}
+}
+
+// NewMustView is a small helper for tests that need a throwaway view.
+func NewMustView(t *testing.T, f *fixture, st *store.ShardedStore) *View {
+	t.Helper()
+	v, err := NewView(f.eng, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// An empty-interval summary (no temporal data) must never surface as a
+// candidate but must still be tracked and deletable.
+func TestIncrementalEmptyInterval(t *testing.T) {
+	f, _, v, _ := incFixture(t, 0)
+	ix, err := NewIncrementalFleetIndex(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := *f.cts[0].Summary
+	empty.T0, empty.T1 = 1, 0 // inverted = empty
+	if err := ix.Upsert(42, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("len %d want 1", ix.Len())
+	}
+	ids, err := ix.RangeIDs(0, 1e9, f.ds.Graph.MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("empty-interval entry matched: %v", ids)
+	}
+	ix.Delete(42)
+	if ix.Len() != 0 {
+		t.Fatalf("len %d want 0 after delete", ix.Len())
+	}
+}
+
+// Pruning actually happens: with small buckets and a narrow window, whole
+// buckets are skipped and summaries reject candidates before any verify.
+func TestIncrementalPruning(t *testing.T) {
+	f, _, _, ix := incFixture(t, 50)
+	// A tiny window near the start of the day with a tiny rectangle.
+	r := geo.NewMBR(geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 1})
+	if _, err := ix.RangeIDs(0, 10, r); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.BucketsSkipped == 0 && st.SummaryRejects == 0 {
+		t.Errorf("no pruning recorded: %+v", st)
+	}
+	if st.Verifies > uint64(len(f.cts)) {
+		t.Errorf("verified more than the fleet: %+v", st)
+	}
+	if _, err := NewIncrementalFleetIndex(nil, 0); err == nil {
+		t.Error("nil view accepted")
+	}
+	if err := ix.RefreshFromStore(nil); err == nil {
+		t.Error("nil scanner accepted")
+	}
+}

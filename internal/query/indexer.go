@@ -1,0 +1,64 @@
+package query
+
+import (
+	"sort"
+
+	"press/internal/geo"
+)
+
+// FleetIndexer is the fleet-wide candidate generator behind the server's
+// range and nearby queries, answering in trajectory ids. Two
+// implementations exist: the STR bulk-loaded FleetIndex (rebuilt from a
+// full scan) and the IncrementalFleetIndex (updated in place on every
+// flush, no rebuild).
+type FleetIndexer interface {
+	// RangeIDs returns the ids of trajectories that pass through r during
+	// [t1, t2], ascending and deduplicated.
+	RangeIDs(t1, t2 float64, r geo.MBR) ([]uint64, error)
+	// NearbyIDs returns the ids of trajectories that come within dist of p
+	// during [t1, t2], ascending and deduplicated.
+	NearbyIDs(p geo.Point, dist, t1, t2 float64) ([]uint64, error)
+	// Len returns the number of indexed trajectories.
+	Len() int
+}
+
+// RangeIDs adapts the position-based RangeQuery to the FleetIndexer
+// contract.
+func (fi *FleetIndex) RangeIDs(t1, t2 float64, r geo.MBR) ([]uint64, error) {
+	pos, err := fi.RangeQuery(t1, t2, r)
+	if err != nil {
+		return nil, err
+	}
+	return fi.idsOf(pos), nil
+}
+
+// NearbyIDs adapts the position-based Nearby to the FleetIndexer contract.
+func (fi *FleetIndex) NearbyIDs(p geo.Point, dist, t1, t2 float64) ([]uint64, error) {
+	pos, err := fi.Nearby(p, dist, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	return fi.idsOf(pos), nil
+}
+
+func (fi *FleetIndex) idsOf(pos []int) []uint64 {
+	if len(pos) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(pos))
+	for _, i := range pos {
+		ids = append(ids, fi.RecordID(i))
+	}
+	return sortDedupIDs(ids)
+}
+
+func sortDedupIDs(ids []uint64) []uint64 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -24,7 +24,7 @@ type fixture struct {
 	cts  []*core.Compressed
 }
 
-func newFixture(t *testing.T, tau, eta float64) *fixture {
+func newFixture(t testing.TB, tau, eta float64) *fixture {
 	t.Helper()
 	opt := gen.Options{
 		City:  gen.CityOptions{Rows: 7, Cols: 7, Spacing: 180, PosJitter: 0.15, RemoveEdgeProb: 0.05, Seed: 12},

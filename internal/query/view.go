@@ -1,0 +1,187 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"press/internal/core"
+	"press/internal/geo"
+)
+
+// RecordSource is what the query layer needs from a store: latest-record
+// reads keyed by a per-record revision, and a payload-free stat probe.
+// *store.ShardedStore satisfies it.
+type RecordSource interface {
+	// GetRecord returns the latest record under id plus its revision (a
+	// value unique to that exact stored record within the process).
+	GetRecord(id uint64) (*core.Compressed, uint64, error)
+	// StatRecord returns the latest record's revision and persisted
+	// BoundingSummary (nil if stored without one) without reading the
+	// payload.
+	StatRecord(id uint64) (rev uint64, sum *core.BoundingSummary, err error)
+}
+
+// MetaScanner is the bulk counterpart of RecordSource.StatRecord: visit
+// the latest record of every live id without reading payloads.
+// *store.ShardedStore satisfies it.
+type MetaScanner interface {
+	ScanMeta(fn func(id uint64, rev uint64, sum *core.BoundingSummary) error) error
+}
+
+// View answers the §5 queries by vehicle id, straight off the store: it
+// fetches the latest record, decodes it once into the unit sequence, and
+// (when a Cache is attached) keeps hot vehicles decoded so repeated
+// queries never touch the FST again. Revision pinning makes a cached
+// answer indistinguishable from a cache-bypassed one: any re-append of
+// the id changes the revision and invalidates the entry. A View is safe
+// for concurrent use.
+type View struct {
+	eng   *Engine
+	src   RecordSource
+	cache *Cache // nil = no caching
+
+	decodes atomic.Uint64 // records fully decoded (i.e. cache misses or bypass)
+}
+
+// NewView assembles a view; cache may be nil to disable caching.
+func NewView(eng *Engine, src RecordSource, cache *Cache) (*View, error) {
+	if eng == nil || src == nil {
+		return nil, errors.New("query: nil engine or record source")
+	}
+	return &View{eng: eng, src: src, cache: cache}, nil
+}
+
+// Engine returns the underlying compressed-domain engine.
+func (v *View) Engine() *Engine { return v.eng }
+
+// Decodes returns how many records this view fully decoded (cache misses
+// plus cache-off fetches) — the work the cache exists to avoid.
+func (v *View) Decodes() uint64 { return v.decodes.Load() }
+
+// CacheStats snapshots the attached cache's counters (zeroes when no
+// cache is attached).
+func (v *View) CacheStats() CacheStats { return v.cache.Stats() }
+
+// record returns the vehicle's decoded state, from cache when possible.
+func (v *View) record(id uint64) (*decodedRecord, error) {
+	if v.cache != nil {
+		rev, _, err := v.src.StatRecord(id)
+		if err != nil {
+			return nil, err
+		}
+		if d, ok := v.cache.getDecoded(id, rev); ok {
+			return d, nil
+		}
+	}
+	ct, rev, err := v.src.GetRecord(id)
+	if err != nil {
+		return nil, err
+	}
+	units, err := v.eng.units(ct)
+	if err != nil {
+		return nil, err
+	}
+	v.decodes.Add(1)
+	d := &decodedRecord{rev: rev, units: units, temporal: ct.Temporal}
+	if ct.Summary != nil {
+		d.sum = ct.Summary
+	} else if d.sum, err = v.summarize(d); err != nil {
+		return nil, err
+	}
+	v.cache.putDecoded(id, d)
+	return d, nil
+}
+
+// WhereAt answers §5.1 for the vehicle's latest record.
+func (v *View) WhereAt(id uint64, t float64) (geo.Point, error) {
+	d, err := v.record(id)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	return v.eng.whereAtUnits(&sliceIter{units: d.units}, d.temporal, t)
+}
+
+// WhenAt answers §5.2 for the vehicle's latest record.
+func (v *View) WhenAt(id uint64, p geo.Point) (float64, error) {
+	d, err := v.record(id)
+	if err != nil {
+		return 0, err
+	}
+	return v.eng.whenAtUnits(&sliceIter{units: d.units}, d.temporal, p)
+}
+
+// Range answers §5.3 for the vehicle's latest record.
+func (v *View) Range(id uint64, t1, t2 float64, r geo.MBR) (bool, error) {
+	d, err := v.record(id)
+	if err != nil {
+		return false, err
+	}
+	return v.eng.rangeUnits(&sliceIter{units: d.units}, d.temporal, t1, t2, r)
+}
+
+// PassesNear answers the §5.4 nearby predicate for the vehicle's latest
+// record.
+func (v *View) PassesNear(id uint64, p geo.Point, dist, t1, t2 float64) (bool, error) {
+	d, err := v.record(id)
+	if err != nil {
+		return false, err
+	}
+	return v.eng.passesNearUnits(&sliceIter{units: d.units}, d.temporal, p, dist, t1, t2)
+}
+
+// MinDistance answers the §5.4 trajectory-distance extension between two
+// vehicles' latest records.
+func (v *View) MinDistance(a, b uint64) (float64, error) {
+	da, err := v.record(a)
+	if err != nil {
+		return 0, err
+	}
+	db, err := v.record(b)
+	if err != nil {
+		return 0, err
+	}
+	return v.eng.minDistanceUnits(da.units, db.units)
+}
+
+// Summary returns the vehicle's BoundingSummary and the revision it
+// belongs to, the cheapest way possible: the store's persisted summary if
+// the record has one, then the memoized-summary cache, and only as a last
+// resort a full decode (which is then cached, decoded units included).
+func (v *View) Summary(id uint64) (uint64, *core.BoundingSummary, error) {
+	rev, sum, err := v.src.StatRecord(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	if sum != nil {
+		return rev, sum, nil
+	}
+	if s, ok := v.cache.getSummary(id, rev); ok {
+		return rev, s, nil
+	}
+	d, err := v.record(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	v.cache.putSummary(id, d.rev, d.sum)
+	return d.rev, d.sum, nil
+}
+
+// summarize derives a summary from decoded units: the union of the unit
+// MBRs (the same point set as the full path geometry) plus the temporal
+// bounds.
+func (v *View) summarize(d *decodedRecord) (*core.BoundingSummary, error) {
+	m := geo.EmptyMBR()
+	for _, u := range d.units {
+		um, err := v.eng.mbrOf(u)
+		if err != nil {
+			return nil, err
+		}
+		m.ExtendMBR(um)
+	}
+	s := &core.BoundingSummary{MBR: m, T0: math.Inf(1), T1: math.Inf(-1)}
+	if n := len(d.temporal); n > 0 {
+		s.T0, s.T1 = d.temporal[0].T, d.temporal[n-1].T
+	}
+	return s, nil
+}

@@ -47,6 +47,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,7 +82,23 @@ type Options struct {
 	// Stream tunes the per-vehicle session layer (idle auto-flush, memory
 	// cap, sweep cadence). See stream.Options.
 	Stream stream.Options
+	// QueryCacheBytes bounds the query layer's LRU of decoded trajectories
+	// and memoized summaries. 0 selects DefaultQueryCacheBytes; negative
+	// disables caching entirely.
+	QueryCacheBytes int
+	// IncrementalIndex selects the incrementally maintained fleet index:
+	// each session flush upserts the vehicle's bounding summary in place
+	// (O(1)), so fleet queries never pay an STR rebuild as the store grows.
+	// Fleet answers then follow the latest-record-per-vehicle semantics the
+	// single-vehicle endpoints already use. When false (the default) fleet
+	// queries use the STR bulk-loaded index over every stored record,
+	// rebuilt whenever the store generation changes.
+	IncrementalIndex bool
 }
+
+// DefaultQueryCacheBytes is the decoded-trajectory cache budget when
+// Options.QueryCacheBytes is zero: enough for a few thousand hot vehicles.
+const DefaultQueryCacheBytes = 32 << 20
 
 // Config assembles a Server from its components. Engine, Compressor and
 // Store are required.
@@ -114,9 +131,21 @@ type Server struct {
 	draining bool
 	httpSrv  *http.Server
 
-	idxMu  sync.Mutex
-	idx    *query.FleetIndex
-	idxLen int
+	view  *query.View  // single-vehicle queries + index verification
+	cache *query.Cache // nil = caching disabled
+
+	// Fleet index state. Exactly one of the two modes is active:
+	// STR (idx, rebuilt when idxGen falls behind the store generation) or
+	// incremental (inc, upserted on every flush; incGen tracks the store
+	// generation the index reflects so external store changes — a Compact,
+	// a Delete — trigger a metadata refresh, never a full rebuild).
+	idxMu    sync.Mutex
+	idx      *query.FleetIndex
+	idxGen   uint64
+	rebuilds atomic.Uint64
+	inc      *query.IncrementalFleetIndex
+	incGen   atomic.Uint64
+	applied  atomic.Uint64 // flush records applied to the incremental index
 
 	metrics map[string]*endpointMetrics
 }
@@ -131,10 +160,6 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	mgr, err := stream.NewManager(ctx, cfg.Compressor, cfg.Store, cfg.Stream)
-	if err != nil {
-		return nil, err
-	}
 	maxc := cfg.MaxConcurrent
 	if maxc == 0 {
 		maxc = 4 * runtime.GOMAXPROCS(0)
@@ -143,11 +168,54 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		cfg:     cfg,
 		eng:     cfg.Engine,
 		st:      cfg.Store,
-		mgr:     mgr,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		metrics: make(map[string]*endpointMetrics),
 	}
+	cacheBytes := cfg.QueryCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultQueryCacheBytes
+	}
+	s.cache = query.NewCache(cacheBytes) // nil when negative = cache off
+	view, err := query.NewView(cfg.Engine, cfg.Store, s.cache)
+	if err != nil {
+		return nil, err
+	}
+	s.view = view
+	if cfg.IncrementalIndex {
+		inc, err := query.NewIncrementalFleetIndex(view, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := inc.RefreshFromStore(cfg.Store); err != nil {
+			return nil, fmt.Errorf("server: priming incremental index: %w", err)
+		}
+		s.inc = inc
+		s.incGen.Store(cfg.Store.Generation())
+		// Each successful flush is one store append (one generation tick);
+		// applying its summary here keeps the index exactly in step without
+		// a store scan. The flushed record always carries its summary, so
+		// the upsert never decodes.
+		userHook := cfg.Stream.OnFlush
+		cfg.Stream.OnFlush = func(id uint64, ct *core.Compressed) {
+			s.incGen.Add(1)
+			if err := inc.Upsert(id, ct.Summary); err != nil {
+				// Could not apply: flag the index stale so the next fleet
+				// query repairs it with a metadata refresh.
+				s.incGen.Store(0)
+			} else {
+				s.applied.Add(1)
+			}
+			if userHook != nil {
+				userHook(id, ct)
+			}
+		}
+	}
+	mgr, err := stream.NewManager(ctx, cfg.Compressor, cfg.Store, cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	s.mgr = mgr
 	s.hctx, s.hcancel = context.WithCancel(context.Background())
 	if maxc > 0 {
 		s.sem = make(chan struct{}, maxc)
@@ -159,6 +227,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.route("GET /v1/mindistance", "mindistance", s.handleMinDistance)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	// /metrics bypasses the concurrency bound like /healthz: scrapes must
+	// not be starved by query load.
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s, nil
 }
 
@@ -277,21 +348,44 @@ func (s *Server) Close() error { return s.Shutdown(context.Background()) }
 // it in-process alongside the HTTP path.
 func (s *Server) Sessions() *stream.Manager { return s.mgr }
 
-// fleetIndex returns the STR-packed index over the current store contents,
-// rebuilt only when the store has grown since the last build (the record
-// count is the generation stamp — appends only ever add records).
-func (s *Server) fleetIndex() (*query.FleetIndex, error) {
+// fleetIndexer returns the active fleet index, current as of the store's
+// generation counter. The generation — not the record count — is the
+// invalidation key: a delete+insert pair that leaves the count unchanged
+// still ticks the generation, so no query can ever see a stale index (the
+// bug the old Len()-keyed rebuild had).
+//
+// STR mode rebuilds the index from a full scan whenever the generation
+// moved. Incremental mode normally never rebuilds: session flushes upsert
+// the index in place and advance incGen in step with the store; only an
+// out-of-band store change (Delete, Compact, a direct Append outside the
+// session layer) leaves incGen behind, repaired here with a metadata-only
+// refresh.
+func (s *Server) fleetIndexer() (query.FleetIndexer, error) {
+	if s.inc != nil {
+		if s.incGen.Load() != s.st.Generation() {
+			s.idxMu.Lock()
+			defer s.idxMu.Unlock()
+			if gen := s.st.Generation(); s.incGen.Load() != gen {
+				if err := s.inc.RefreshFromStore(s.st); err != nil {
+					return nil, err
+				}
+				s.incGen.Store(gen)
+			}
+		}
+		return s.inc, nil
+	}
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
-	n := s.st.Len()
-	if s.idx != nil && s.idxLen == n {
+	gen := s.st.Generation()
+	if s.idx != nil && s.idxGen == gen {
 		return s.idx, nil
 	}
 	idx, err := query.NewFleetIndexFromStore(s.eng, s.st)
 	if err != nil {
 		return nil, err
 	}
-	s.idx, s.idxLen = idx, n
+	s.rebuilds.Add(1)
+	s.idx, s.idxGen = idx, gen
 	return idx, nil
 }
 
@@ -401,7 +495,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (m *sampleMsg) entry() traj.Entry { return traj.Entry{D: m.D, T: m.T} }
 
 func (s *Server) handleWhereAt(w http.ResponseWriter, r *http.Request) {
-	ct, ok := s.fetch(w, r, "id")
+	id, ok := s.vehicleID(w, r, "id")
 	if !ok {
 		return
 	}
@@ -409,16 +503,16 @@ func (s *Server) handleWhereAt(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	p, err := s.eng.WhereAt(ct, t)
+	p, err := s.view.WhereAt(id, t)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		writeQueryErr(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]float64{"x": p.X, "y": p.Y})
 }
 
 func (s *Server) handleWhenAt(w http.ResponseWriter, r *http.Request) {
-	ct, ok := s.fetch(w, r, "id")
+	id, ok := s.vehicleID(w, r, "id")
 	if !ok {
 		return
 	}
@@ -430,9 +524,9 @@ func (s *Server) handleWhenAt(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	t, err := s.eng.WhenAt(ct, geo.Point{X: x, Y: y})
+	t, err := s.view.WhenAt(id, geo.Point{X: x, Y: y})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		writeQueryErr(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]float64{"t": t})
@@ -453,57 +547,53 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("id") == "" {
 		// Fleet-level: which stored vehicles crossed the region in the
-		// window? The R-tree prunes; survivors run the exact Range. The
-		// index covers every stored record — a vehicle whose trip was cut
-		// into several records (idle flush, session cap) matches on any of
-		// them, which is the natural "was it ever there" fleet semantics —
-		// so ids are deduplicated before responding.
-		idx, err := s.fleetIndex()
+		// window? The index prunes (R-tree leaves or bounding summaries,
+		// depending on the mode); survivors run the exact Range predicate.
+		// Both index implementations answer in ascending deduplicated ids.
+		idx, err := s.fleetIndexer()
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		pos, err := idx.RangeQuery(t1, t2, mbr)
+		ids, err := idx.RangeIDs(t1, t2, mbr)
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
-		seen := make(map[uint64]bool, len(pos))
-		ids := make([]uint64, 0, len(pos))
-		for _, i := range pos {
-			if id := idx.RecordID(i); !seen[id] {
-				seen[id] = true
-				ids = append(ids, id)
-			}
+		if ids == nil {
+			ids = []uint64{}
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		writeJSON(w, http.StatusOK, map[string]any{"ids": ids})
 		return
 	}
-	ct, ok := s.fetch(w, r, "id")
+	id, ok := s.vehicleID(w, r, "id")
 	if !ok {
 		return
 	}
-	hit, err := s.eng.Range(ct, t1, t2, mbr)
+	hit, err := s.view.Range(id, t1, t2, mbr)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		writeQueryErr(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"hit": hit})
 }
 
 func (s *Server) handleMinDistance(w http.ResponseWriter, r *http.Request) {
-	a, ok := s.fetch(w, r, "a")
+	a, ok := s.vehicleID(w, r, "a")
 	if !ok {
 		return
 	}
-	b, ok := s.fetch(w, r, "b")
+	b, ok := s.vehicleID(w, r, "b")
 	if !ok {
 		return
 	}
-	d, err := s.eng.MinDistance(a, b)
+	d, err := s.view.MinDistance(a, b)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		id := a
+		if _, _, statErr := s.st.StatRecord(b); statErr != nil {
+			id = b
+		}
+		writeQueryErr(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]float64{"distance": d})
@@ -527,8 +617,49 @@ type statsResponse struct {
 	SP       *SPInfo                    `json:"sp,omitempty"`
 	Sessions sessionStats               `json:"sessions"`
 	Store    storeStats                 `json:"store"`
+	Query    queryStats                 `json:"query"`
+	Index    indexInfo                  `json:"index"`
 	Server   serverStats                `json:"server"`
 	Endpoint map[string]endpointSummary `json:"endpoints"`
+}
+
+// queryStats surfaces the cache hierarchy: LRU counters plus the number of
+// full decodes the view performed (the work a cache hit skips).
+type queryStats struct {
+	CacheEnabled bool             `json:"cache_enabled"`
+	Cache        query.CacheStats `json:"cache"`
+	Decodes      uint64           `json:"decodes"`
+}
+
+// indexInfo describes the active fleet index. Mode "str" reports how many
+// full bulk-load rebuilds queries have paid; mode "incremental" reports the
+// in-place maintenance and pruning counters instead (Rebuilds stays 0 —
+// that is the point).
+type indexInfo struct {
+	Mode        string            `json:"mode"`
+	Len         int               `json:"len"`
+	Rebuilds    uint64            `json:"rebuilds"`
+	Applied     uint64            `json:"applied,omitempty"`
+	Incremental *query.IndexStats `json:"incremental,omitempty"`
+}
+
+func (s *Server) indexInfo() indexInfo {
+	if s.inc != nil {
+		st := s.inc.Stats()
+		return indexInfo{
+			Mode:        "incremental",
+			Len:         s.inc.Len(),
+			Applied:     s.applied.Load(),
+			Incremental: &st,
+		}
+	}
+	s.idxMu.Lock()
+	n := 0
+	if s.idx != nil {
+		n = s.idx.Len()
+	}
+	s.idxMu.Unlock()
+	return indexInfo{Mode: "str", Len: n, Rebuilds: s.rebuilds.Load()}
 }
 
 type sessionStats struct {
@@ -561,6 +692,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Shards:  s.st.Shards(),
 			Bytes:   s.st.SizeBytes(),
 		},
+		Query: queryStats{
+			CacheEnabled: s.cache != nil,
+			Cache:        s.view.CacheStats(),
+			Decodes:      s.view.Decodes(),
+		},
+		Index: s.indexInfo(),
 		Server: serverStats{
 			InFlight:      len(s.sem),
 			MaxConcurrent: cap(s.sem),
@@ -578,24 +715,93 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// fetch resolves the query parameter key to a stored compressed trajectory.
-func (s *Server) fetch(w http.ResponseWriter, r *http.Request, key string) (*core.Compressed, bool) {
-	raw := r.URL.Query().Get(key)
-	id, err := strconv.ParseUint(raw, 10, 64)
+// handleMetrics is the Prometheus text exposition (version 0.0.4) of the
+// same counters /v1/stats reports as JSON, hand-rolled — the daemon takes
+// no client-library dependency for a line protocol this small.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("press_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	gauge("press_sessions_active", "Open ingest sessions.", float64(s.mgr.Active()))
+	counter("press_sessions_flushed_total", "Session records appended to the store.", s.mgr.Flushed())
+	counter("press_ingest_points_total", "GPS observations accepted.", s.mgr.Pushes())
+
+	gauge("press_store_records", "Live records in the fleet store.", float64(s.st.Len()))
+	gauge("press_store_bytes", "Fleet store size on disk.", float64(s.st.SizeBytes()))
+	gauge("press_store_generation", "Store mutation generation counter.", float64(s.st.Generation()))
+
+	cs := s.view.CacheStats()
+	counter("press_query_cache_hits_total", "Decoded-record cache hits.", cs.Hits)
+	counter("press_query_cache_misses_total", "Decoded-record cache misses.", cs.Misses)
+	counter("press_query_cache_summary_hits_total", "Memoized-summary cache hits.", cs.SummaryHits)
+	counter("press_query_cache_summary_misses_total", "Memoized-summary cache misses.", cs.SummaryMisses)
+	counter("press_query_cache_evictions_total", "Cache entries evicted.", cs.Evictions)
+	gauge("press_query_cache_entries", "Entries resident in the query cache.", float64(cs.Entries))
+	gauge("press_query_cache_bytes", "Estimated bytes resident in the query cache.", float64(cs.Bytes))
+	counter("press_query_decodes_total", "Records fully decoded by the query view.", s.view.Decodes())
+
+	idx := s.indexInfo()
+	gauge("press_fleet_index_entries", "Vehicles in the fleet index (mode: "+idx.Mode+").", float64(idx.Len))
+	counter("press_fleet_index_rebuilds_total", "Full STR bulk-load rebuilds paid by fleet queries.", idx.Rebuilds)
+	if inc := idx.Incremental; inc != nil {
+		counter("press_fleet_index_upserts_total", "In-place index upserts.", inc.Upserts)
+		counter("press_fleet_index_deletes_total", "In-place index deletes.", inc.Deletes)
+		counter("press_fleet_index_refreshes_total", "Metadata-only index refreshes.", inc.Refreshes)
+		counter("press_fleet_index_summary_rejects_total", "Candidates rejected by bounding summary.", inc.SummaryRejects)
+		counter("press_fleet_index_buckets_skipped_total", "Time buckets skipped whole.", inc.BucketsSkipped)
+		counter("press_fleet_index_verifies_total", "Candidates verified with the exact predicate.", inc.Verifies)
+	}
+
+	names := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "# HELP press_requests_total Requests served per endpoint.\n# TYPE press_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "press_requests_total{endpoint=%q} %d\n", name, s.metrics[name].count.Load())
+	}
+	fmt.Fprintf(&b, "# HELP press_request_errors_total Requests answered with status >= 400 per endpoint.\n# TYPE press_request_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "press_request_errors_total{endpoint=%q} %d\n", name, s.metrics[name].errs.Load())
+	}
+	fmt.Fprintf(&b, "# HELP press_request_duration_seconds_sum Cumulative request latency per endpoint.\n# TYPE press_request_duration_seconds_sum counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "press_request_duration_seconds_sum{endpoint=%q} %g\n", name, float64(s.metrics[name].totalNS.Load())/1e9)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// vehicleID parses the query parameter key as a vehicle id.
+func (s *Server) vehicleID(w http.ResponseWriter, r *http.Request, key string) (uint64, bool) {
+	id, err := strconv.ParseUint(r.URL.Query().Get(key), 10, 64)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad or missing "+key)
-		return nil, false
+		return 0, false
 	}
-	ct, err := s.st.Get(id)
-	if err != nil {
-		if errors.Is(err, store.ErrNotFound) {
-			writeErr(w, http.StatusNotFound, fmt.Sprintf("vehicle %d has no stored trajectory", id))
-		} else {
-			writeErr(w, http.StatusInternalServerError, err.Error())
-		}
-		return nil, false
+	return id, true
+}
+
+// writeQueryErr maps a View query failure to a status: unknown vehicle is
+// 404, store damage is 500, anything else is an engine refusal (422).
+func writeQueryErr(w http.ResponseWriter, id uint64, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("vehicle %d has no stored trajectory", id))
+	case errors.Is(err, store.ErrCorrupt), errors.Is(err, store.ErrBadLayout):
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 	}
-	return ct, true
 }
 
 // --- helpers ---

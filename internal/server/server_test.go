@@ -11,11 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -621,4 +623,332 @@ func TestShutdownUnderLoadDrains(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// queryStatsDoc mirrors the query/index sections added to /v1/stats.
+type queryStatsDoc struct {
+	Query struct {
+		CacheEnabled bool `json:"cache_enabled"`
+		Cache        struct {
+			Hits      uint64 `json:"hits"`
+			Misses    uint64 `json:"misses"`
+			Evictions uint64 `json:"evictions"`
+			Entries   int    `json:"entries"`
+			Bytes     int64  `json:"bytes"`
+			MaxBytes  int64  `json:"max_bytes"`
+		} `json:"cache"`
+		Decodes uint64 `json:"decodes"`
+	} `json:"query"`
+	Index struct {
+		Mode        string `json:"mode"`
+		Len         int    `json:"len"`
+		Rebuilds    uint64 `json:"rebuilds"`
+		Applied     uint64 `json:"applied"`
+		Incremental *struct {
+			Upserts        uint64 `json:"upserts"`
+			Refreshes      uint64 `json:"refreshes"`
+			SummaryRejects uint64 `json:"summary_rejects"`
+			Verifies       uint64 `json:"verifies"`
+		} `json:"incremental"`
+	} `json:"index"`
+}
+
+// rangeIDs runs a fleet-level range query and returns the matching ids.
+func rangeIDs(t *testing.T, base string, t1, t2, xmin, ymin, xmax, ymax float64) []uint64 {
+	t.Helper()
+	var out struct {
+		IDs []uint64 `json:"ids"`
+	}
+	// 'f' formatting: exponent notation would put a literal '+' in the
+	// query string, which decodes to a space.
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	url := fmt.Sprintf("%s/v1/range?t1=%s&t2=%s&xmin=%s&ymin=%s&xmax=%s&ymax=%s",
+		base, ff(t1), ff(t2), ff(xmin), ff(ymin), ff(xmax), ff(ymax))
+	if status := getJSON(t, url, &out); status != http.StatusOK {
+		t.Fatalf("fleet range = %d", status)
+	}
+	return out.IDs
+}
+
+func worldRange(t *testing.T, base string, fxt *fixture) []uint64 {
+	m := fxt.ds.Graph.MBR()
+	return rangeIDs(t, base, 0, 1e12, m.MinX, m.MinY, m.MaxX, m.MaxY)
+}
+
+// Regression for the stale-fleet-index bug: the rebuild used to be keyed
+// on the store's record count, so a count-preserving delete+insert left
+// queries answering from the old index. The generation counter must catch
+// it in both index modes.
+func TestFleetIndexSeesCountPreservingDeleteInsert(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{{"str", false}, {"incremental", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			fxt := getFixture(t)
+			st, err := press.CreateShardedFleetStore(t.TempDir()+"/fleet", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{
+				IncrementalIndex: mode.incremental,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer func() {
+				ts.Close()
+				srv.Close()
+				st.Close()
+			}()
+			ct0, err := fxt.sys.Compress(fxt.ds.Truth[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct1, err := fxt.sys.Compress(fxt.ds.Truth[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Append(0, ct0); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Append(1, ct1); err != nil {
+				t.Fatal(err)
+			}
+			got := worldRange(t, ts.URL, fxt)
+			if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+				t.Fatalf("baseline fleet range = %v, want [0 1]", got)
+			}
+			// Count-preserving churn: delete vehicle 1, insert the same
+			// trajectory under id 2. Len() is back to 2; only the
+			// generation says anything happened.
+			before := st.Len()
+			if err := st.Delete(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Append(2, ct1); err != nil {
+				t.Fatal(err)
+			}
+			if st.Len() != before {
+				t.Fatalf("churn was not count-preserving: %d -> %d", before, st.Len())
+			}
+			got = worldRange(t, ts.URL, fxt)
+			if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+				t.Fatalf("post-churn fleet range = %v, want [0 2] (stale index?)", got)
+			}
+		})
+	}
+}
+
+// In incremental mode a flushed vehicle must become fleet-queryable via
+// in-place upserts: zero STR rebuilds, applied counter in step with the
+// flushes, and summary pruning doing real work.
+func TestIncrementalIndexServing(t *testing.T) {
+	fxt := getFixture(t)
+	st, err := press.CreateShardedFleetStore(t.TempDir()+"/fleet", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{
+		IncrementalIndex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	}()
+	ingestFleet(t, ts.URL, fxt)
+	n := len(fxt.ds.Truth)
+	ids := worldRange(t, ts.URL, fxt)
+	if len(ids) != n {
+		t.Fatalf("fleet range found %d vehicles, want %d", len(ids), n)
+	}
+	var stats queryStatsDoc
+	if status := getJSON(t, ts.URL+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats = %d", status)
+	}
+	if stats.Index.Mode != "incremental" {
+		t.Fatalf("index mode = %q", stats.Index.Mode)
+	}
+	if stats.Index.Rebuilds != 0 {
+		t.Errorf("incremental mode paid %d STR rebuilds", stats.Index.Rebuilds)
+	}
+	if stats.Index.Applied != uint64(n) {
+		t.Errorf("applied = %d, want %d", stats.Index.Applied, n)
+	}
+	if stats.Index.Len != n {
+		t.Errorf("index len = %d, want %d", stats.Index.Len, n)
+	}
+	if inc := stats.Index.Incremental; inc == nil {
+		t.Error("incremental counters missing from stats")
+	} else if inc.Upserts < uint64(n) {
+		t.Errorf("upserts = %d, want >= %d", inc.Upserts, n)
+	}
+	// A store change behind the server's back (a delete) is repaired with
+	// a metadata refresh — never a rebuild.
+	if err := st.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	after := worldRange(t, ts.URL, fxt)
+	if len(after) != n-1 {
+		t.Fatalf("post-delete fleet range found %d, want %d", len(after), n-1)
+	}
+	for _, id := range after {
+		if id == ids[0] {
+			t.Fatalf("deleted vehicle %d still indexed", id)
+		}
+	}
+	if status := getJSON(t, ts.URL+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats = %d", status)
+	}
+	if stats.Index.Rebuilds != 0 {
+		t.Errorf("delete caused %d STR rebuilds", stats.Index.Rebuilds)
+	}
+	if stats.Index.Incremental == nil || stats.Index.Incremental.Refreshes < 2 {
+		t.Errorf("expected a catch-up refresh after the external delete: %+v", stats.Index.Incremental)
+	}
+}
+
+// A repeated single-vehicle query must be served from the decoded-record
+// cache: the second request reports a cache hit and no extra decode.
+func TestWarmQueryReportsCacheHit(t *testing.T) {
+	fxt := getFixture(t)
+	st, err := press.CreateShardedFleetStore(t.TempDir()+"/fleet", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	}()
+	ct, err := fxt.sys.Compress(fxt.ds.Truth[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(7, ct); err != nil {
+		t.Fatal(err)
+	}
+	tq := fxt.ds.Truth[0].Temporal[0].T
+	url := ts.URL + "/v1/whereat?id=7&t=" + f(tq)
+	for i := 0; i < 3; i++ {
+		if status := getJSON(t, url, nil); status != http.StatusOK {
+			t.Fatalf("whereat = %d", status)
+		}
+	}
+	var stats queryStatsDoc
+	if status := getJSON(t, ts.URL+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats = %d", status)
+	}
+	if !stats.Query.CacheEnabled {
+		t.Fatal("cache not enabled by default")
+	}
+	if stats.Query.Cache.Hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", stats.Query.Cache.Hits)
+	}
+	if stats.Query.Decodes != 1 {
+		t.Errorf("decodes = %d, want 1", stats.Query.Decodes)
+	}
+	// Cache off: same answers, no hits.
+	srv2, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{
+		QueryCacheBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	url2 := ts2.URL + "/v1/whereat?id=7&t=" + f(tq)
+	for i := 0; i < 2; i++ {
+		if status := getJSON(t, url2, nil); status != http.StatusOK {
+			t.Fatalf("whereat (no cache) = %d", status)
+		}
+	}
+	if status := getJSON(t, ts2.URL+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats = %d", status)
+	}
+	if stats.Query.CacheEnabled {
+		t.Error("cache reported enabled with QueryCacheBytes < 0")
+	}
+	if stats.Query.Decodes != 2 {
+		t.Errorf("cache-off decodes = %d, want 2", stats.Query.Decodes)
+	}
+}
+
+// /metrics must expose the Prometheus text format with the cache, index
+// and per-endpoint counters.
+func TestMetricsExposition(t *testing.T) {
+	fxt := getFixture(t)
+	st, err := press.CreateShardedFleetStore(t.TempDir()+"/fleet", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{
+		IncrementalIndex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	}()
+	ct, err := fxt.sys.Compress(fxt.ds.Truth[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(1, ct); err != nil {
+		t.Fatal(err)
+	}
+	tq := fxt.ds.Truth[0].Temporal[0].T
+	for i := 0; i < 2; i++ {
+		if status := getJSON(t, ts.URL+"/v1/whereat?id=1&t="+f(tq), nil); status != http.StatusOK {
+			t.Fatalf("whereat = %d", status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ctype := resp.Header.Get("Content-Type"); !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("content type = %q", ctype)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE press_query_cache_hits_total counter",
+		"press_query_cache_hits_total 1",
+		"press_query_decodes_total 1",
+		"press_store_records 1",
+		"press_fleet_index_upserts_total",
+		"press_requests_total{endpoint=\"whereat\"} 2",
+		"press_request_errors_total{endpoint=\"whereat\"} 0",
+		"press_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
 }

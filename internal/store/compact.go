@@ -9,9 +9,13 @@ import "fmt"
 // the source (ShardOf is a pure function of id and shard count) and keeps
 // its relative append order; payload bytes are copied verbatim.
 //
-// A legacy v1 single-file source compacts into a 1-shard v2 store (v1 ids
-// are append indexes and never duplicate, so this is the upgrade path with
-// kept == record count). Compact returns how many records were kept and how
+// The destination is written in the current (v3) record format and each
+// survivor's persisted BoundingSummary rides along, so Compact doubles as
+// the upgrade path from a v2 store (records gain summary slots, which stay
+// empty until re-appended) and from a legacy v1 single-file source (which
+// compacts into a 1-shard store; v1 ids are append indexes and never
+// duplicate, so kept == record count). Deleted records and their tombstones
+// are dropped entirely. Compact returns how many records were kept and how
 // many duplicates were dropped. The destination is fsynced before return.
 func Compact(srcDir, dstDir string) (kept, dropped int, err error) {
 	src, err := OpenSharded(srcDir)
@@ -29,22 +33,22 @@ func Compact(srcDir, dstDir string) (kept, dropped int, err error) {
 		}
 	}()
 	for i, sh := range src.shards {
-		ids, offsets, sizes := sh.snapshot()
+		snap := sh.snapshot()
 		// Latest slot per id within this shard (ids never cross shards).
-		latest := make(map[uint64]int, len(ids))
-		for j, id := range ids {
+		latest := make(map[uint64]int, len(snap.ids))
+		for j, id := range snap.ids {
 			latest[id] = j
 		}
-		for j, id := range ids {
+		for j, id := range snap.ids {
 			if latest[id] != j {
 				dropped++
 				continue
 			}
-			blob := make([]byte, sizes[j])
-			if _, rerr := sh.f.ReadAt(blob, offsets[j]); rerr != nil {
+			blob := make([]byte, snap.sizes[j])
+			if _, rerr := sh.f.ReadAt(blob, snap.offsets[j]); rerr != nil {
 				return kept, dropped, fmt.Errorf("store: compact: shard %d: %w", i, rerr)
 			}
-			if aerr := dst.appendRaw(id, blob); aerr != nil {
+			if aerr := dst.appendRaw(id, blob, snap.sums[j]); aerr != nil {
 				return kept, dropped, fmt.Errorf("store: compact: shard %d: %w", i, aerr)
 			}
 			kept++

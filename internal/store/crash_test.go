@@ -24,7 +24,7 @@ func buildShardImage(t *testing.T, n int) (img []byte, tailStart int64) {
 		}
 	}
 	sh := st.shards[0]
-	tailStart = sh.offsets[n-1] - v2RecHdr
+	tailStart = sh.offsets[n-1] - v3RecHdr // sample() records carry no summary
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -178,20 +178,26 @@ func TestShardCorruptionTypedErrors(t *testing.T) {
 		return img
 	})
 	// Mangled length prefix of an interior record, small: the scan reads
-	// the wrong payload bytes and the CRC catches it.
+	// the wrong payload bytes and the CRC catches it. (v3 header layout:
+	// id at +0, flags at +8, length at +12, crc at +16.)
 	corruptShard(t, "interior length shrunk", ErrCorrupt, func(img []byte) []byte {
-		binary.LittleEndian.PutUint32(img[8+8:8+12], 1)
+		binary.LittleEndian.PutUint32(img[8+12:8+16], 1)
 		return img
 	})
 	// Mangled length prefix, absurd: rejected outright instead of silently
 	// truncating every record after it.
 	corruptShard(t, "interior length absurd", ErrCorrupt, func(img []byte) []byte {
-		binary.LittleEndian.PutUint32(img[8+8:8+12], uint32(MaxRecordLen+1))
+		binary.LittleEndian.PutUint32(img[8+12:8+16], uint32(MaxRecordLen+1))
+		return img
+	})
+	// Unknown flag bits: refused, not misparsed.
+	corruptShard(t, "unknown record flags", ErrCorrupt, func(img []byte) []byte {
+		binary.LittleEndian.PutUint32(img[8+8:8+12], 1<<7)
 		return img
 	})
 	// A flipped payload bit in an interior record: CRC mismatch.
 	corruptShard(t, "payload bit flip", ErrCorrupt, func(img []byte) []byte {
-		img[8+v2RecHdr] ^= 0x40
+		img[8+v3RecHdr] ^= 0x40
 		return img
 	})
 }

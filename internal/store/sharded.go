@@ -1,4 +1,4 @@
-// ShardedStore is the fleet store v2: records are partitioned across N
+// ShardedStore is the fleet store: records are partitioned across N
 // segment files by trajectory id (stable hash), so N pipeline tails can
 // append concurrently instead of serializing on one writer. A small manifest
 // makes the layout self-describing and recovery a per-shard sequential scan.
@@ -7,10 +7,21 @@
 //
 //	MANIFEST        magic "PRSM" | uint32 manifest version | uint32 format
 //	                version | uint32 shard count (little endian)
-//	shard-0000.prss magic "PRSS" | uint32 version (2) | records...
+//	shard-0000.prss magic "PRSS" | uint32 version (2 or 3) | records...
 //	shard-0001.prss ...
 //	record (v2):    uint64 id | uint32 length | uint32 crc32(payload) |
 //	                length bytes (core.Compressed.Marshal)
+//	record (v3):    uint64 id | uint32 flags | uint32 length | uint32 crc |
+//	                [48-byte BoundingSummary if flags&1] | length bytes;
+//	                the CRC covers summary + payload. flags&2 marks a
+//	                tombstone (Delete marker; length 0, no summary).
+//
+// v3 is the current format: CreateSharded writes it, and it persists each
+// record's compressed-domain BoundingSummary next to the payload so queries
+// can reject candidates without decompressing anything. v2 stores remain
+// fully readable AND appendable (their records simply carry no summaries
+// and cannot be deleted); store.Compact is the upgrade path — compacting a
+// v2 store writes a v3 destination.
 //
 // Crash vs corruption is distinguished per record: a record that runs past
 // the end of its shard is a partial tail (crash during append) and is
@@ -61,14 +72,19 @@ var (
 	ErrReadOnly = errors.New("store: legacy store is read-only; use Migrate")
 	// ErrNotFound is returned by ShardedStore.Get for an unknown id.
 	ErrNotFound = errors.New("store: id not found")
+	// ErrNoDelete is returned by Delete on a store whose record format has
+	// no tombstones (v2 or a legacy v1 wrap). Compact into a fresh (v3)
+	// store to gain delete support.
+	ErrNoDelete = errors.New("store: record format does not support delete")
 )
 
 var manifestMagic = [4]byte{'P', 'R', 'S', 'M'}
 
 const (
-	manifestVersion = 1
-	shardedVersion  = 2 // segment file format version
-	manifestName    = "MANIFEST"
+	manifestVersion  = 1
+	shardedVersion   = 3 // current segment file format version (written by CreateSharded)
+	shardedVersionV2 = 2 // prior format: no flags, no summaries, no tombstones
+	manifestName     = "MANIFEST"
 	// MaxRecordLen bounds a single record payload (1 GiB). A length prefix
 	// beyond it is treated as corruption rather than a crash tail: no
 	// legitimate record is ever that large, and refusing to scan past a
@@ -81,6 +97,11 @@ const (
 const (
 	v1RecHdr = 4  // uint32 length
 	v2RecHdr = 16 // uint64 id | uint32 length | uint32 crc
+	v3RecHdr = 20 // uint64 id | uint32 flags | uint32 length | uint32 crc
+
+	flagSummary   uint32 = 1 << 0 // a 48-byte BoundingSummary precedes the payload
+	flagTombstone uint32 = 1 << 1 // delete marker: no summary, zero-length payload
+	knownFlags           = flagSummary | flagTombstone
 )
 
 func shardName(i int) string { return fmt.Sprintf("shard-%04d.prss", i) }
@@ -129,16 +150,49 @@ func SyncInterval(n int) SyncPolicy {
 // index read happens under mu; parallelism across a ShardedStore comes from
 // different ids landing on different shards, not from lock-free tricks
 // inside one.
+//
+// Rows are append-ordered. A row is "visible" when it is not a tombstone
+// and no later tombstone exists for its id — Scan, IDs and Len see exactly
+// the visible rows (superseded duplicates of a live id stay visible, as
+// they always have). slots tracks the latest visible row per id, i.e. what
+// Get serves.
 type shard struct {
 	mu       sync.RWMutex
 	f        *os.File
-	legacy   bool // v1 record format: no ids, no CRC
+	legacy   bool   // v1 record format: no ids, no CRC
+	version  uint32 // record format of this segment (2 or 3; 1 for a legacy wrap)
 	ids      []uint64
 	offsets  []int64 // payload offsets
 	sizes    []int
-	slots    map[uint64]int // id -> latest slot
+	sums     []*core.BoundingSummary // per row; nil when the record carries none
+	tombs    []bool                  // per row; true marks a tombstone marker row
+	revs     []uint64                // per row; store generation when the row was indexed
+	slots    map[uint64]int          // id -> latest visible row
+	lastTomb map[uint64]int          // id -> row of the latest tombstone
+	nrows    map[uint64]int          // id -> visible row count (appends since last tombstone)
+	liveRows int                     // total visible rows
 	wpos     int64
 	unsynced int // appends since the last fsync (SyncInterval bookkeeping)
+}
+
+func newShardState(version uint32) *shard {
+	return &shard{
+		version:  version,
+		slots:    map[uint64]int{},
+		lastTomb: map[uint64]int{},
+		nrows:    map[uint64]int{},
+	}
+}
+
+// visibleLocked reports row j's visibility; callers hold mu.
+func (sh *shard) visibleLocked(j int) bool {
+	if sh.tombs != nil && sh.tombs[j] {
+		return false
+	}
+	if t, ok := sh.lastTomb[sh.ids[j]]; ok && j < t {
+		return false
+	}
+	return true
 }
 
 // ShardedStore is an open sharded fleet container. Appends, reads and scans
@@ -148,11 +202,23 @@ type ShardedStore struct {
 	dir    string
 	shards []*shard
 
+	// gen is the store's monotonic generation: it advances on every
+	// mutation (append or delete) and doubles as the per-record revision
+	// source. Indexes and caches key invalidation on it instead of the
+	// record count, which a delete+insert or a Compact can leave unchanged.
+	gen atomic.Uint64
+
 	syncEvery atomic.Int32 // SyncPolicy, readable without the store lock
 
 	mu     sync.Mutex
 	closed bool
 }
+
+// Generation returns the store's monotonic mutation counter. It increases
+// on every Append and Delete (never decreases, never repeats), so an
+// observer that cached work at generation G can cheaply detect "anything
+// changed since?" — including changes that leave Len unchanged.
+func (s *ShardedStore) Generation() uint64 { return s.gen.Load() }
 
 // SetSyncPolicy installs the fsync policy for subsequent appends; safe to
 // call concurrently with appends. It returns the store for chaining.
@@ -168,8 +234,12 @@ func (s *ShardedStore) SyncPolicy() SyncPolicy {
 
 // CreateSharded makes a new empty sharded store directory with the given
 // shard count (minimum 1), truncating any shards left from a previous store
-// at the same path.
+// at the same path. The store is written in the current (v3) record format.
 func CreateSharded(dir string, shards int) (*ShardedStore, error) {
+	return createSharded(dir, shards, shardedVersion)
+}
+
+func createSharded(dir string, shards int, format uint32) (*ShardedStore, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -194,7 +264,7 @@ func CreateSharded(dir string, shards int) (*ShardedStore, error) {
 	var man [16]byte
 	copy(man[:4], manifestMagic[:])
 	binary.LittleEndian.PutUint32(man[4:8], manifestVersion)
-	binary.LittleEndian.PutUint32(man[8:12], shardedVersion)
+	binary.LittleEndian.PutUint32(man[8:12], format)
 	binary.LittleEndian.PutUint32(man[12:16], uint32(shards))
 	if err := os.WriteFile(filepath.Join(dir, manifestName), man[:], 0o644); err != nil {
 		return nil, err
@@ -208,20 +278,25 @@ func CreateSharded(dir string, shards int) (*ShardedStore, error) {
 		}
 		var hdr [8]byte
 		copy(hdr[:4], magic[:])
-		binary.LittleEndian.PutUint32(hdr[4:], shardedVersion)
+		binary.LittleEndian.PutUint32(hdr[4:], format)
 		if _, err := f.Write(hdr[:]); err != nil {
 			f.Close()
 			st.Close()
 			return nil, err
 		}
-		st.shards = append(st.shards, &shard{f: f, slots: map[uint64]int{}, wpos: 8})
+		sh := newShardState(format)
+		sh.f = f
+		sh.wpos = 8
+		st.shards = append(st.shards, sh)
 	}
 	return st, nil
 }
 
 // OpenSharded opens an existing store and rebuilds every shard's record
 // index, one goroutine per shard. Crash tails are truncated away per shard;
-// corruption and layout mismatches surface as typed errors.
+// corruption and layout mismatches surface as typed errors. Both the
+// current (v3) and the prior (v2) segment formats open read-write; a v2
+// store simply has no summaries and refuses Delete.
 //
 // As the degenerate case, path may name a legacy v1 single-file store: it
 // opens as one read-only shard whose record ids are the append indexes.
@@ -247,7 +322,7 @@ func OpenSharded(path string) (*ShardedStore, error) {
 		return nil, fmt.Errorf("manifest: %w %d", ErrBadVersion, v)
 	}
 	format := binary.LittleEndian.Uint32(man[8:12])
-	if format != shardedVersion {
+	if format != shardedVersion && format != shardedVersionV2 {
 		return nil, fmt.Errorf("manifest: %w (format %d)", ErrBadVersion, format)
 	}
 	n := int(binary.LittleEndian.Uint32(man[12:16]))
@@ -266,7 +341,7 @@ func OpenSharded(path string) (*ShardedStore, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st.shards[i], errs[i] = openShard(filepath.Join(path, shardName(i)), i)
+			st.shards[i], errs[i] = openShard(filepath.Join(path, shardName(i)), i, format)
 		}(i)
 	}
 	wg.Wait()
@@ -276,7 +351,20 @@ func OpenSharded(path string) (*ShardedStore, error) {
 			return nil, err
 		}
 	}
+	st.assignRevs()
 	return st, nil
+}
+
+// assignRevs stamps every indexed row with a unique revision drawn from the
+// store generation. Revisions only need to be unique within this process
+// (they key in-memory caches), so fresh values per open are fine.
+func (s *ShardedStore) assignRevs() {
+	for _, sh := range s.shards {
+		sh.revs = make([]uint64, len(sh.ids))
+		for j := range sh.revs {
+			sh.revs[j] = s.gen.Add(1)
+		}
+	}
 }
 
 func hasMagic(b []byte, m [4]byte) bool {
@@ -291,22 +379,24 @@ func countShardFiles(dir string) (int, error) {
 	return len(names), nil
 }
 
-// openShard opens one v2 segment file and rebuilds its index: a sequential
+// openShard opens one segment file and rebuilds its index: a sequential
 // scan that CRC-checks every complete record and truncates a partial tail.
-func openShard(path string, idx int) (*shard, error) {
+// The segment's header version must match the manifest's format.
+func openShard(path string, idx int, format uint32) (*shard, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
 	}
-	sh := &shard{f: f, slots: map[uint64]int{}}
-	if err := sh.scanV2(idx); err != nil {
+	sh := newShardState(format)
+	sh.f = f
+	if err := sh.scanRecords(idx); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return sh, nil
 }
 
-func (sh *shard) scanV2(idx int) error {
+func (sh *shard) scanRecords(idx int) error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(sh.f, hdr[:]); err != nil {
 		return fmt.Errorf("store: shard %d: short header: %w", idx, err)
@@ -314,40 +404,81 @@ func (sh *shard) scanV2(idx int) error {
 	if !hasMagic(hdr[:], magic) {
 		return fmt.Errorf("shard %d: %w", idx, ErrBadMagic)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardedVersion {
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != sh.version {
 		return fmt.Errorf("shard %d: %w %d", idx, ErrBadVersion, v)
 	}
 	end, err := sh.f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return err
 	}
+	hdrLen := int64(v2RecHdr)
+	if sh.version == shardedVersion {
+		hdrLen = v3RecHdr
+	}
 	pos := int64(8)
-	var rec [v2RecHdr]byte
-	for pos+v2RecHdr <= end {
-		if _, err := sh.f.ReadAt(rec[:], pos); err != nil {
+	rec := make([]byte, hdrLen)
+	for pos+hdrLen <= end {
+		if _, err := sh.f.ReadAt(rec, pos); err != nil {
 			return err
 		}
 		id := binary.LittleEndian.Uint64(rec[:8])
-		n := int64(binary.LittleEndian.Uint32(rec[8:12]))
-		crc := binary.LittleEndian.Uint32(rec[12:16])
+		var flags uint32
+		var n int64
+		var crc uint32
+		if sh.version == shardedVersion {
+			flags = binary.LittleEndian.Uint32(rec[8:12])
+			n = int64(binary.LittleEndian.Uint32(rec[12:16]))
+			crc = binary.LittleEndian.Uint32(rec[16:20])
+			if flags&^knownFlags != 0 {
+				return fmt.Errorf("shard %d: %w: unknown record flags %#x at offset %d", idx, ErrCorrupt, flags, pos)
+			}
+			if flags&flagTombstone != 0 && (n != 0 || flags&flagSummary != 0) {
+				return fmt.Errorf("shard %d: %w: malformed tombstone at offset %d", idx, ErrCorrupt, pos)
+			}
+		} else {
+			n = int64(binary.LittleEndian.Uint32(rec[8:12]))
+			crc = binary.LittleEndian.Uint32(rec[12:16])
+		}
 		if n > MaxRecordLen {
 			return fmt.Errorf("shard %d: %w: length %d at offset %d", idx, ErrCorrupt, n, pos)
 		}
-		if pos+v2RecHdr+n > end {
+		var slen int64
+		if flags&flagSummary != 0 {
+			slen = core.BoundingSummaryLen
+		}
+		if pos+hdrLen+slen+n > end {
 			break // partial tail record (crash during append): drop it
 		}
-		payload := make([]byte, n)
-		if _, err := sh.f.ReadAt(payload, pos+v2RecHdr); err != nil {
+		body := make([]byte, slen+n)
+		if _, err := sh.f.ReadAt(body, pos+hdrLen); err != nil {
 			return err
 		}
-		if crc32.ChecksumIEEE(payload) != crc {
+		if crc32.ChecksumIEEE(body) != crc {
 			return fmt.Errorf("shard %d: %w: checksum mismatch at offset %d", idx, ErrCorrupt, pos)
 		}
+		var sum *core.BoundingSummary
+		if slen > 0 {
+			if sum, err = core.UnmarshalBoundingSummary(body[:slen]); err != nil {
+				return fmt.Errorf("shard %d: %w: %v", idx, ErrCorrupt, err)
+			}
+		}
+		row := len(sh.ids)
 		sh.ids = append(sh.ids, id)
-		sh.offsets = append(sh.offsets, pos+v2RecHdr)
+		sh.offsets = append(sh.offsets, pos+hdrLen+slen)
 		sh.sizes = append(sh.sizes, int(n))
-		sh.slots[id] = len(sh.ids) - 1
-		pos += v2RecHdr + n
+		sh.sums = append(sh.sums, sum)
+		sh.tombs = append(sh.tombs, flags&flagTombstone != 0)
+		if flags&flagTombstone != 0 {
+			delete(sh.slots, id)
+			sh.lastTomb[id] = row
+			sh.liveRows -= sh.nrows[id]
+			sh.nrows[id] = 0
+		} else {
+			sh.slots[id] = row
+			sh.nrows[id]++
+			sh.liveRows++
+		}
+		pos += hdrLen + slen + n
 	}
 	if pos < end {
 		if err := sh.f.Truncate(pos); err != nil {
@@ -365,20 +496,24 @@ func openLegacySharded(path string) (*ShardedStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh := &shard{
-		f:       inner.f,
-		legacy:  true,
-		offsets: inner.offsets,
-		sizes:   inner.sizes,
-		wpos:    inner.wpos,
-		slots:   make(map[uint64]int, len(inner.offsets)),
-	}
+	sh := newShardState(1)
+	sh.f = inner.f
+	sh.legacy = true
+	sh.offsets = inner.offsets
+	sh.sizes = inner.sizes
+	sh.wpos = inner.wpos
+	sh.sums = make([]*core.BoundingSummary, len(inner.offsets))
+	sh.tombs = make([]bool, len(inner.offsets))
 	sh.ids = make([]uint64, len(inner.offsets))
+	sh.liveRows = len(inner.offsets)
 	for i := range sh.ids {
 		sh.ids[i] = uint64(i)
 		sh.slots[uint64(i)] = i
+		sh.nrows[uint64(i)] = 1
 	}
-	return &ShardedStore{dir: path, shards: []*shard{sh}}, nil
+	st := &ShardedStore{dir: path, shards: []*shard{sh}}
+	st.assignRevs()
+	return st, nil
 }
 
 // Shards returns the shard count (1 for a legacy store).
@@ -393,12 +528,14 @@ func (s *ShardedStore) Legacy() bool {
 // itself for a legacy store).
 func (s *ShardedStore) Dir() string { return s.dir }
 
-// Len returns the total number of stored records across all shards.
+// Len returns the total number of stored records across all shards:
+// superseded duplicates count, deleted records and tombstone markers do
+// not.
 func (s *ShardedStore) Len() int {
 	total := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		total += len(sh.offsets)
+		total += sh.liveRows
 		sh.mu.RUnlock()
 	}
 	return total
@@ -409,7 +546,7 @@ func (s *ShardedStore) ShardLen(i int) int {
 	sh := s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.offsets)
+	return sh.liveRows
 }
 
 // SizeBytes returns the total on-disk size across segment files (headers
@@ -433,12 +570,13 @@ func (s *ShardedStore) isClosed() bool {
 // Append stores one compressed trajectory under the given id. The shard is
 // chosen by ShardOf, so concurrent appenders with ids on different shards
 // never contend. Appending the same id again stores a new record; Get
-// returns the latest one.
+// returns the latest one. On a v3 store the record's BoundingSummary (if
+// present) is persisted next to the payload; a v2 store silently drops it.
 func (s *ShardedStore) Append(id uint64, ct *core.Compressed) error {
-	return s.appendRaw(id, ct.Marshal())
+	return s.appendRaw(id, ct.Marshal(), ct.Summary)
 }
 
-func (s *ShardedStore) appendRaw(id uint64, payload []byte) error {
+func (s *ShardedStore) appendRaw(id uint64, payload []byte, sum *core.BoundingSummary) error {
 	if s.isClosed() {
 		return ErrClosed
 	}
@@ -446,21 +584,49 @@ func (s *ShardedStore) appendRaw(id uint64, payload []byte) error {
 	if sh.legacy {
 		return ErrReadOnly
 	}
-	buf := make([]byte, v2RecHdr+len(payload))
-	binary.LittleEndian.PutUint64(buf[:8], id)
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
-	copy(buf[v2RecHdr:], payload)
+	var buf []byte
+	if sh.version == shardedVersion {
+		var flags uint32
+		slen := 0
+		var sbytes [core.BoundingSummaryLen]byte
+		if sum != nil {
+			flags |= flagSummary
+			slen = core.BoundingSummaryLen
+			sbytes = sum.Marshal()
+		}
+		buf = make([]byte, v3RecHdr+slen+len(payload))
+		binary.LittleEndian.PutUint64(buf[:8], id)
+		binary.LittleEndian.PutUint32(buf[8:12], flags)
+		binary.LittleEndian.PutUint32(buf[12:16], uint32(len(payload)))
+		copy(buf[v3RecHdr:], sbytes[:slen])
+		copy(buf[v3RecHdr+slen:], payload)
+		binary.LittleEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(buf[v3RecHdr:]))
+	} else {
+		sum = nil // v2 records cannot carry a summary
+		buf = make([]byte, v2RecHdr+len(payload))
+		binary.LittleEndian.PutUint64(buf[:8], id)
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
+		copy(buf[v2RecHdr:], payload)
+	}
+	hdrLen := int64(len(buf) - len(payload))
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, err := sh.f.WriteAt(buf, sh.wpos); err != nil {
 		return err
 	}
+	rev := s.gen.Add(1)
 	prevSlot, hadSlot := sh.slots[id]
+	row := len(sh.ids)
 	sh.ids = append(sh.ids, id)
-	sh.offsets = append(sh.offsets, sh.wpos+v2RecHdr)
+	sh.offsets = append(sh.offsets, sh.wpos+hdrLen)
 	sh.sizes = append(sh.sizes, len(payload))
-	sh.slots[id] = len(sh.ids) - 1
+	sh.sums = append(sh.sums, sum)
+	sh.tombs = append(sh.tombs, false)
+	sh.revs = append(sh.revs, rev)
+	sh.slots[id] = row
+	sh.nrows[id]++
+	sh.liveRows++
 	sh.wpos += int64(len(buf))
 	if every := int(s.syncEvery.Load()); every > 0 {
 		sh.unsynced++
@@ -471,13 +637,15 @@ func (s *ShardedStore) appendRaw(id uint64, payload []byte) error {
 				// and keep the unsynced count for the earlier records so
 				// the next append retries the sync immediately. Truncation
 				// is best-effort — the scan-on-open drops the tail anyway.
-				n := len(sh.ids) - 1
-				sh.ids, sh.offsets, sh.sizes = sh.ids[:n], sh.offsets[:n], sh.sizes[:n]
+				sh.ids, sh.offsets, sh.sizes = sh.ids[:row], sh.offsets[:row], sh.sizes[:row]
+				sh.sums, sh.tombs, sh.revs = sh.sums[:row], sh.tombs[:row], sh.revs[:row]
 				if hadSlot {
 					sh.slots[id] = prevSlot
 				} else {
 					delete(sh.slots, id)
 				}
+				sh.nrows[id]--
+				sh.liveRows--
 				sh.wpos -= int64(len(buf))
 				sh.unsynced--
 				_ = sh.f.Truncate(sh.wpos)
@@ -489,21 +657,127 @@ func (s *ShardedStore) appendRaw(id uint64, payload []byte) error {
 	return nil
 }
 
-// Get reads the latest record stored under id.
-func (s *ShardedStore) Get(id uint64) (*core.Compressed, error) {
+// Delete removes id from the store by appending a tombstone record: Get
+// stops serving it, Scan/IDs/Len stop seeing any of its rows, and the
+// store generation advances. Only the current (v3) record format has
+// tombstones; a v2 store returns ErrNoDelete and a legacy wrap ErrReadOnly.
+// A later Append under the same id is a fresh insert.
+func (s *ShardedStore) Delete(id uint64) error {
 	if s.isClosed() {
-		return nil, ErrClosed
+		return ErrClosed
+	}
+	sh := s.shards[ShardOf(id, len(s.shards))]
+	if sh.legacy {
+		return ErrReadOnly
+	}
+	if sh.version != shardedVersion {
+		return ErrNoDelete
+	}
+	var buf [v3RecHdr]byte
+	binary.LittleEndian.PutUint64(buf[:8], id)
+	binary.LittleEndian.PutUint32(buf[8:12], flagTombstone)
+	binary.LittleEndian.PutUint32(buf[12:16], 0)
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(nil))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	prevSlot, ok := sh.slots[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if _, err := sh.f.WriteAt(buf[:], sh.wpos); err != nil {
+		return err
+	}
+	rev := s.gen.Add(1)
+	row := len(sh.ids)
+	prevTomb, hadTomb := sh.lastTomb[id]
+	prevRows := sh.nrows[id]
+	sh.ids = append(sh.ids, id)
+	sh.offsets = append(sh.offsets, sh.wpos+v3RecHdr)
+	sh.sizes = append(sh.sizes, 0)
+	sh.sums = append(sh.sums, nil)
+	sh.tombs = append(sh.tombs, true)
+	sh.revs = append(sh.revs, rev)
+	delete(sh.slots, id)
+	sh.lastTomb[id] = row
+	sh.liveRows -= prevRows
+	sh.nrows[id] = 0
+	sh.wpos += v3RecHdr
+	if every := int(s.syncEvery.Load()); every > 0 {
+		sh.unsynced++
+		if sh.unsynced >= every {
+			if err := sh.f.Sync(); err != nil {
+				// Mirror the append rollback: an errored Delete must leave
+				// the id served exactly as before.
+				sh.ids, sh.offsets, sh.sizes = sh.ids[:row], sh.offsets[:row], sh.sizes[:row]
+				sh.sums, sh.tombs, sh.revs = sh.sums[:row], sh.tombs[:row], sh.revs[:row]
+				sh.slots[id] = prevSlot
+				if hadTomb {
+					sh.lastTomb[id] = prevTomb
+				} else {
+					delete(sh.lastTomb, id)
+				}
+				sh.liveRows += prevRows
+				sh.nrows[id] = prevRows
+				sh.wpos -= v3RecHdr
+				sh.unsynced--
+				_ = sh.f.Truncate(sh.wpos)
+				return err
+			}
+			sh.unsynced = 0
+		}
+	}
+	return nil
+}
+
+// Get reads the latest record stored under id. On a v3 store the returned
+// record carries its persisted BoundingSummary.
+func (s *ShardedStore) Get(id uint64) (*core.Compressed, error) {
+	ct, _, err := s.GetRecord(id)
+	return ct, err
+}
+
+// GetRecord is Get plus the record's revision — a value unique to this
+// exact stored record within the process, suitable as a cache key: a
+// re-append (or delete+insert) of the same id yields a different revision.
+func (s *ShardedStore) GetRecord(id uint64) (*core.Compressed, uint64, error) {
+	if s.isClosed() {
+		return nil, 0, ErrClosed
 	}
 	sh := s.shards[ShardOf(id, len(s.shards))]
 	sh.mu.RLock()
 	slot, ok := sh.slots[id]
 	if !ok {
 		sh.mu.RUnlock()
-		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+		return nil, 0, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	off, size := sh.offsets[slot], sh.sizes[slot]
+	sum, rev := sh.sums[slot], sh.revs[slot]
 	sh.mu.RUnlock()
-	return sh.read(off, size)
+	ct, err := sh.read(off, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	ct.Summary = sum
+	return ct, rev, nil
+}
+
+// StatRecord returns the revision and persisted BoundingSummary of the
+// latest record under id without reading the payload — the cheap existence
+// + staleness + filter probe the query layer uses before deciding to fetch
+// anything. The summary is nil for records stored without one (v2 or
+// legacy stores).
+func (s *ShardedStore) StatRecord(id uint64) (rev uint64, sum *core.BoundingSummary, err error) {
+	if s.isClosed() {
+		return 0, nil, ErrClosed
+	}
+	sh := s.shards[ShardOf(id, len(s.shards))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	slot, ok := sh.slots[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return sh.revs[slot], sh.sums[slot], nil
 }
 
 // read fetches one already-indexed record; records are immutable once
@@ -516,14 +790,35 @@ func (sh *shard) read(off int64, size int) (*core.Compressed, error) {
 	return core.UnmarshalCompressed(blob)
 }
 
-// snapshot returns the shard's index as of now; appends that land later are
-// not seen by a scan already in flight.
-func (sh *shard) snapshot() (ids []uint64, offsets []int64, sizes []int) {
+// rowSnap is a consistent point-in-time copy of a shard's visible rows.
+type rowSnap struct {
+	ids     []uint64
+	offsets []int64
+	sizes   []int
+	sums    []*core.BoundingSummary
+}
+
+// snapshot returns the shard's visible rows as of now; appends that land
+// later are not seen by a scan already in flight.
+func (sh *shard) snapshot() rowSnap {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return append([]uint64(nil), sh.ids...),
-		append([]int64(nil), sh.offsets...),
-		append([]int(nil), sh.sizes...)
+	snap := rowSnap{
+		ids:     make([]uint64, 0, sh.liveRows),
+		offsets: make([]int64, 0, sh.liveRows),
+		sizes:   make([]int, 0, sh.liveRows),
+		sums:    make([]*core.BoundingSummary, 0, sh.liveRows),
+	}
+	for j := range sh.ids {
+		if !sh.visibleLocked(j) {
+			continue
+		}
+		snap.ids = append(snap.ids, sh.ids[j])
+		snap.offsets = append(snap.offsets, sh.offsets[j])
+		snap.sizes = append(snap.sizes, sh.sizes[j])
+		snap.sums = append(snap.sums, sh.sums[j])
+	}
+	return snap
 }
 
 // Scan streams every record — shards in order, records in append order
@@ -550,14 +845,44 @@ func (s *ShardedStore) ScanShard(i int, fn func(id uint64, ct *core.Compressed) 
 		return fmt.Errorf("store: shard %d out of range [0,%d)", i, len(s.shards))
 	}
 	sh := s.shards[i]
-	ids, offsets, sizes := sh.snapshot()
-	for j := range ids {
-		ct, err := sh.read(offsets[j], sizes[j])
+	snap := sh.snapshot()
+	for j := range snap.ids {
+		ct, err := sh.read(snap.offsets[j], snap.sizes[j])
 		if err != nil {
 			return err
 		}
-		if err := fn(ids[j], ct); err != nil {
+		ct.Summary = snap.sums[j]
+		if err := fn(snap.ids[j], ct); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// ScanMeta visits the latest record of every live id — exactly the set Get
+// serves — without reading any payloads: just the id, its revision, and
+// its persisted BoundingSummary (nil when the record has none). This is
+// how an index bootstraps or refreshes itself from the store in O(ids)
+// time with zero decompression. Visit order is unspecified.
+func (s *ShardedStore) ScanMeta(fn func(id uint64, rev uint64, sum *core.BoundingSummary) error) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		ids := make([]uint64, 0, len(sh.slots))
+		revs := make([]uint64, 0, len(sh.slots))
+		sums := make([]*core.BoundingSummary, 0, len(sh.slots))
+		for id, slot := range sh.slots {
+			ids = append(ids, id)
+			revs = append(revs, sh.revs[slot])
+			sums = append(sums, sh.sums[slot])
+		}
+		sh.mu.RUnlock()
+		for j := range ids {
+			if err := fn(ids[j], revs[j], sums[j]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -567,8 +892,8 @@ func (s *ShardedStore) ScanShard(i int, fn func(id uint64, ct *core.Compressed) 
 func (s *ShardedStore) IDs() []uint64 {
 	var out []uint64
 	for _, sh := range s.shards {
-		ids, _, _ := sh.snapshot()
-		out = append(out, ids...)
+		snap := sh.snapshot()
+		out = append(out, snap.ids...)
 	}
 	return out
 }
@@ -616,7 +941,9 @@ func (s *ShardedStore) Close() error {
 // Migrate rewrites a legacy v1 single-file store at src into a sharded
 // store directory at dstDir with the given shard count. Record ids are the
 // v1 append indexes (matching what OpenSharded(src) reports), payload bytes
-// are copied verbatim, and the record count is returned.
+// are copied verbatim, and the record count is returned. The destination is
+// written in the current (v3) format; v1 records carry no summaries, so the
+// migrated records have none either.
 func Migrate(src, dstDir string, shards int) (int, error) {
 	old, err := Open(src)
 	if err != nil {
@@ -633,7 +960,7 @@ func Migrate(src, dstDir string, shards int) (int, error) {
 		if _, err := old.f.ReadAt(blob, old.offsets[i]); err != nil {
 			return i, err
 		}
-		if err := dst.appendRaw(uint64(i), blob); err != nil {
+		if err := dst.appendRaw(uint64(i), blob, nil); err != nil {
 			return i, err
 		}
 	}

@@ -341,7 +341,7 @@ func TestShardedSizeBytes(t *testing.T) {
 	if err := st.Append(1, ct); err != nil {
 		t.Fatal(err)
 	}
-	want := int64(2*8 + v2RecHdr + ct.SizeBytes())
+	want := int64(2*8 + v3RecHdr + ct.SizeBytes())
 	if st.SizeBytes() != want {
 		t.Fatalf("size = %d want %d", st.SizeBytes(), want)
 	}

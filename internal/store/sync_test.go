@@ -64,7 +64,7 @@ func TestCrashTruncationEveryByteBoundarySyncAlways(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	tailStart := st.shards[0].offsets[n-1] - v2RecHdr
+	tailStart := st.shards[0].offsets[n-1] - v3RecHdr
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -76,6 +76,12 @@ type Options struct {
 	// OnError observes flush failures on the background sweep path, where
 	// there is no caller to return them to. May be nil.
 	OnError func(id uint64, err error)
+	// OnFlush observes every record successfully appended to the sink,
+	// after the append returns. The server uses it to update its fleet
+	// index incrementally instead of rebuilding from a scan. Called with
+	// the session lock held — keep it fast and never call back into the
+	// Manager. May be nil.
+	OnFlush func(id uint64, ct *core.Compressed)
 }
 
 // Manager holds the live per-vehicle sessions.
@@ -304,6 +310,9 @@ func (m *Manager) flushLocked(s *session) error {
 		if ct, err = s.oc.Flush(); err == nil {
 			if err = m.sink.Append(s.id, ct); err == nil {
 				m.flushed.Add(1)
+				if m.opt.OnFlush != nil {
+					m.opt.OnFlush(s.id, ct)
+				}
 			}
 		}
 	}

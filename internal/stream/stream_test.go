@@ -580,3 +580,65 @@ func TestFlushRefusesAfterLifetimeCancel(t *testing.T) {
 		t.Fatalf("Shutdown after cancel = %v", err)
 	}
 }
+
+// OnFlush must fire exactly once per successful sink append, with the
+// record that was appended, and never on failed appends.
+func TestOnFlushHook(t *testing.T) {
+	comp, ds, st := fixture(t)
+	var mu sync.Mutex
+	got := map[uint64]*core.Compressed{}
+	m, err := NewManager(context.Background(), comp, st, Options{
+		OnFlush: func(id uint64, ct *core.Compressed) {
+			mu.Lock()
+			got[id] = ct
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		feed(t, m, uint64(i), ds.Truth[i])
+		if err := m.Flush(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(999); err != nil { // empty: no append, no hook
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 4 {
+		t.Fatalf("hook fired for %d ids, want 4", len(got))
+	}
+	for i := 0; i < 4; i++ {
+		stored, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[uint64(i)].Marshal(), stored.Marshal()) {
+			t.Fatalf("id %d: hook record differs from stored record", i)
+		}
+	}
+}
+
+// OnFlush must not fire when the sink append fails.
+func TestOnFlushNotCalledOnAppendError(t *testing.T) {
+	comp, ds, _ := fixture(t)
+	fired := false
+	m, err := NewManager(context.Background(), comp, failAppendSink{}, Options{
+		OnFlush: func(uint64, *core.Compressed) { fired = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	feed(t, m, 1, ds.Truth[0])
+	if err := m.Flush(1); err == nil {
+		t.Fatal("append error not surfaced")
+	}
+	if fired {
+		t.Error("OnFlush fired despite append failure")
+	}
+}

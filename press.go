@@ -94,6 +94,10 @@ type (
 	Trajectory = traj.Trajectory
 	// Compressed is a PRESS-compressed trajectory.
 	Compressed = core.Compressed
+	// BoundingSummary is a record's spatial MBR plus time interval, derived
+	// at compress time and persisted alongside v3 store records; fleet
+	// queries use it to reject candidates without decompressing.
+	BoundingSummary = core.BoundingSummary
 	// CityOptions configures the synthetic city generator.
 	CityOptions = gen.CityOptions
 	// TripOptions configures synthetic trip routing.
@@ -146,6 +150,16 @@ type Config struct {
 	// long without a push (0 = sessions end only on explicit flush). See
 	// NewStreamIngestor.
 	SessionIdleFlush time.Duration
+	// QueryCacheBytes bounds the serving layer's LRU of decoded
+	// trajectories and memoized bounding summaries (0 = the server default,
+	// negative = caching off). Consulted by NewServer when the per-server
+	// ServerOptions leave the knob zero.
+	QueryCacheBytes int
+	// IncrementalIndex makes servers built from this system maintain their
+	// fleet index in place on every session flush instead of rebuilding the
+	// STR index when the store changes. Consulted by NewServer when the
+	// per-server ServerOptions leave the knob false.
+	IncrementalIndex bool
 	// SPSnapshotPath makes the shortest-path table disk-resident: when the
 	// file exists and matches the graph, NewSystem memory-maps it read-only
 	// (no Dijkstra work on reopen, and N processes share one copy via the
@@ -556,6 +570,12 @@ type ServerOptions = server.Options
 func (s *System) NewServer(ctx context.Context, st *ShardedFleetStore, opt ServerOptions) (*Server, error) {
 	if opt.Stream.IdleFlush == 0 {
 		opt.Stream.IdleFlush = s.cfg.SessionIdleFlush
+	}
+	if opt.QueryCacheBytes == 0 {
+		opt.QueryCacheBytes = s.cfg.QueryCacheBytes
+	}
+	if !opt.IncrementalIndex {
+		opt.IncrementalIndex = s.cfg.IncrementalIndex
 	}
 	return server.New(ctx, server.Config{
 		Engine:     s.engine,

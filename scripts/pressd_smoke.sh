@@ -45,6 +45,16 @@ curl -fs "$BASE/v1/whereat?id=7&t=30" | grep -q '"x"'
 curl -fs "$BASE/v1/stats" | grep -q '"mapped":true'
 curl -fs "$BASE/v1/stats" | grep -q '"cached_rows":0'
 
+# Warm query path: repeating the same whereat must be served from the
+# decoded-record cache and show up as a hit in /v1/stats.
+curl -fs "$BASE/v1/whereat?id=7&t=30" >/dev/null
+curl -fs "$BASE/v1/stats" | grep -q '"cache_enabled":true'
+curl -fs "$BASE/v1/stats" | grep -q '"hits":[1-9]'
+
+# Prometheus exposition mirrors the same counters.
+curl -fs "$BASE/metrics" | grep -q '^# TYPE press_query_cache_hits_total counter'
+curl -fs "$BASE/metrics" | grep -q '^press_store_records 1'
+
 # Graceful drain: SIGTERM must produce a clean exit 0.
 kill -TERM "$pid"
 if ! wait "$pid"; then
