@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench spbench serverbench querybench serve smoke fuzz ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench serverbench querybench serve smoke fuzz allocgate ci
 
 all: ci
 
@@ -36,8 +36,8 @@ streambench:
 spbench:
 	$(GO) run ./cmd/pressbench -fig spbench
 
-# The pressd HTTP serving scenario: wire ingest points/s, then whereat
-# requests/s at 1/2/4/8 concurrent clients over loopback.
+# The pressd HTTP serving scenario: JSON vs binary-wire ingest points/s,
+# then whereat requests/s at 1/2/4/8 concurrent clients over loopback.
 serverbench:
 	$(GO) run ./cmd/pressbench -fig serverbench
 
@@ -66,5 +66,11 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -fuzz=FuzzSnapshotOpen -fuzztime=$(FUZZTIME) ./internal/spindex
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire
 
-ci: build vet race benchsmoke fuzz smoke
+# Allocation-regression gate: the binary wire frame decode must stay at
+# exactly 0 allocs/op or the ingest hot path has regressed.
+allocgate:
+	./scripts/allocgate.sh
+
+ci: build vet race benchsmoke fuzz allocgate smoke

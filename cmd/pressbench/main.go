@@ -51,6 +51,7 @@ import (
 	"press/internal/store"
 	"press/internal/stream"
 	"press/internal/traj"
+	"press/internal/wire"
 )
 
 func main() {
@@ -512,15 +513,18 @@ func runSPBenchScenario(env *experiments.Env, workers int) error {
 }
 
 // runServerBenchScenario measures the pressd serving layer end to end over
-// loopback HTTP: the environment's fleet is first streamed through
-// POST /v1/ingest (the wire-protocol ingest path, one request per chunk of
-// points, flush at end of trip), then 1/2/4/8 concurrent clients hammer
-// GET /v1/whereat against the stored records. The server boots the way
-// pressd does — engine and compressor over a memory-mapped SP snapshot
-// (zero Dijkstra at open) — so the numbers include the full daemon stack:
-// HTTP parsing, the concurrency bound, session/store access and JSON
-// encoding. On multi-core hardware requests/s should scale with clients
-// until the query engine, not the transport, saturates.
+// loopback HTTP. Phase 1 races the ingest protocols: the environment's
+// fleet is streamed three times over fresh stores — chunked JSON (the debug
+// surface), the same chunking as binary wire frames (isolating the codec),
+// and bulk multi-vehicle binary frames (the protocol's intended shape) —
+// and the points/s multiple of binary over JSON is reported. Phase 2 then
+// has 1/2/4/8 concurrent clients hammer GET /v1/whereat against the
+// bulk-fed store. The server boots the way pressd does — engine and
+// compressor over a memory-mapped SP snapshot (zero Dijkstra at open) — so
+// the numbers include the full daemon stack: HTTP parsing, the concurrency
+// bound, session/store access and response encoding. On multi-core hardware
+// requests/s should scale with clients until the query engine, not the
+// transport, saturates.
 func runServerBenchScenario(env *experiments.Env, workers int) error {
 	g := env.DS.Graph
 
@@ -549,27 +553,46 @@ func runServerBenchScenario(env *experiments.Env, workers int) error {
 	if err != nil {
 		return err
 	}
-	st, err := store.CreateSharded(filepath.Join(dir, "fleet"), 4)
-	if err != nil {
-		return err
-	}
-	defer st.Close()
-	srv, err := server.New(context.Background(), server.Config{
-		Engine: eng, Compressor: comp, Store: st,
-	})
-	if err != nil {
-		return err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	go srv.Serve(ln)
-	defer srv.Close()
-	base := "http://" + ln.Addr().String()
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
 
-	// Wire types (mirroring internal/server's protocol).
+	// newServer spins a fresh store + serving stack over the shared engine
+	// and compressor — one per ingest variant, so the protocols compete on
+	// identical empty stores.
+	newServer := func(tag string) (*store.ShardedStore, *server.Server, string, error) {
+		st, err := store.CreateSharded(filepath.Join(dir, "fleet-"+tag), 4)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		srv, err := server.New(context.Background(), server.Config{
+			Engine: eng, Compressor: comp, Store: st,
+		})
+		if err != nil {
+			st.Close()
+			return nil, nil, "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			st.Close()
+			return nil, nil, "", err
+		}
+		go srv.Serve(ln)
+		return st, srv, "http://" + ln.Addr().String(), nil
+	}
+	post := func(url, contentType string, body []byte) error {
+		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: HTTP %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Wire types (mirroring internal/server's JSON protocol).
 	type sampleMsg struct {
 		D float64 `json:"d"`
 		T float64 `json:"t"`
@@ -579,53 +602,134 @@ func runServerBenchScenario(env *experiments.Env, workers int) error {
 		Sample *sampleMsg `json:"sample,omitempty"`
 	}
 
-	// Phase 1: HTTP ingest of the whole fleet, chunked like a live feed.
+	// Phase 1: HTTP ingest of the whole fleet, three protocol variants over
+	// the same observation streams. json/chunk64 is the debug surface as a
+	// live feed (64-point JSON chunks, one request each); wire/chunk64 sends
+	// the identical request shape as binary frames, isolating the codec
+	// delta; wire/bulk batches 8 vehicles' whole trips per frame on the bulk
+	// endpoint — the protocol's intended shape.
 	feed := env.DS.Truth
 	if len(feed) == 0 {
 		return fmt.Errorf("serverbench: no trajectories")
 	}
+	jsonPts := make([][]pointMsg, len(feed))
+	obsPts := make([][]wire.Obs, len(feed))
 	var totalPoints int
-	t0 := time.Now()
 	for i, tr := range feed {
-		var pts []pointMsg
 		_ = tr.Replay(
 			func(e roadnet.EdgeID) error {
 				v := int64(e)
-				pts = append(pts, pointMsg{Edge: &v})
+				jsonPts[i] = append(jsonPts[i], pointMsg{Edge: &v})
+				obsPts[i] = append(obsPts[i], wire.Obs{Edge: e})
 				return nil
 			},
 			func(p traj.Entry) error {
-				pts = append(pts, pointMsg{Sample: &sampleMsg{D: p.D, T: p.T}})
+				jsonPts[i] = append(jsonPts[i], pointMsg{Sample: &sampleMsg{D: p.D, T: p.T}})
+				obsPts[i] = append(obsPts[i], wire.Obs{Edge: roadnet.NoEdge, Sample: p, HasSample: true})
 				return nil
 			},
 		)
-		totalPoints += len(pts)
-		for len(pts) > 0 {
-			n := 64
-			if n > len(pts) {
-				n = len(pts)
-			}
-			body, _ := json.Marshal(map[string]any{"points": pts[:n], "flush": len(pts) == n})
-			resp, err := client.Post(fmt.Sprintf("%s/v1/ingest/%d", base, i), "application/json", bytes.NewReader(body))
-			if err != nil {
-				return err
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("serverbench: ingest %d: HTTP %d", i, resp.StatusCode)
-			}
-			pts = pts[n:]
-		}
+		totalPoints += len(jsonPts[i])
 	}
-	ingestElapsed := time.Since(t0)
-	if st.Len() != len(feed) {
-		return fmt.Errorf("serverbench: store holds %d of %d trajectories", st.Len(), len(feed))
+
+	const chunk = 64
+	ingestJSON := func(base string) error {
+		for i := range feed {
+			pts := jsonPts[i]
+			for len(pts) > 0 {
+				n := min(chunk, len(pts))
+				body, _ := json.Marshal(map[string]any{"points": pts[:n], "flush": len(pts) == n})
+				if err := post(fmt.Sprintf("%s/v1/ingest/%d", base, i), "application/json", body); err != nil {
+					return err
+				}
+				pts = pts[n:]
+			}
+		}
+		return nil
+	}
+	var enc wire.Encoder
+	ingestWireChunked := func(base string) error {
+		for i := range feed {
+			obs := obsPts[i]
+			for len(obs) > 0 {
+				n := min(chunk, len(obs))
+				enc.Reset()
+				enc.StartGroup(uint64(i), len(obs) == n)
+				for _, o := range obs[:n] {
+					enc.Obs(o)
+				}
+				if err := post(fmt.Sprintf("%s/v1/ingest/%d", base, i), wire.ContentType, enc.Finish()); err != nil {
+					return err
+				}
+				obs = obs[n:]
+			}
+		}
+		return nil
+	}
+	ingestWireBulk := func(base string) error {
+		enc.Reset()
+		for i := range feed {
+			enc.StartGroup(uint64(i), true)
+			for _, o := range obsPts[i] {
+				enc.Obs(o)
+			}
+			if (i+1)%8 == 0 || i == len(feed)-1 {
+				if err := post(base+"/v1/ingest", wire.ContentType, enc.Finish()); err != nil {
+					return err
+				}
+				enc.Reset()
+			}
+		}
+		return nil
+	}
+
+	variants := []struct {
+		name string
+		run  func(base string) error
+	}{
+		{"json/chunk64", ingestJSON},
+		{"wire/chunk64", ingestWireChunked},
+		{"wire/bulk", ingestWireBulk},
 	}
 	fmt.Println("serverbench: pressd HTTP serving layer over loopback (snapshot-booted)")
-	fmt.Printf("ingest: %d vehicles, %d points over HTTP in %v (%.0f points/s)\n",
-		len(feed), totalPoints, ingestElapsed.Round(time.Millisecond),
-		float64(totalPoints)/ingestElapsed.Seconds())
+	fmt.Printf("ingest: %d vehicles, %d points per variant\n", len(feed), totalPoints)
+	fmt.Printf("%14s %12s %12s %8s\n", "protocol", "points/s", "elapsed", "vs json")
+	var st *store.ShardedStore
+	var srv *server.Server
+	var base string
+	var jsonRate, bulkRate float64
+	for vi, v := range variants {
+		vst, vsrv, vbase, err := newServer(fmt.Sprintf("v%d", vi))
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if err := v.run(vbase); err != nil {
+			return fmt.Errorf("serverbench: %s: %w", v.name, err)
+		}
+		elapsed := time.Since(t0)
+		if vst.Len() != len(feed) {
+			return fmt.Errorf("serverbench: %s: store holds %d of %d trajectories", v.name, vst.Len(), len(feed))
+		}
+		rate := float64(totalPoints) / elapsed.Seconds()
+		switch vi {
+		case 0:
+			jsonRate = rate
+		case len(variants) - 1:
+			bulkRate = rate
+		}
+		fmt.Printf("%14s %12.0f %12v %7.2fx\n", v.name, rate,
+			elapsed.Round(time.Millisecond), rate/jsonRate)
+		if vi == len(variants)-1 {
+			st, srv, base = vst, vsrv, vbase // queries run over the bulk-fed store
+		} else {
+			vsrv.Close()
+			vst.Close()
+		}
+	}
+	defer srv.Close()
+	defer st.Close()
+	fmt.Printf("binary bulk ingest vs JSON: %.2fx points/s\n", bulkRate/jsonRate)
 
 	// Phase 2: whereat requests/s at 1/2/4/8 concurrent clients. Each
 	// request targets a stored vehicle at a pseudo-random time inside its

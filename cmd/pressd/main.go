@@ -7,7 +7,13 @@
 //	pressd -net network.txt -train trips.txt -snapshot sp.snap -store fleet/ \
 //	       [-init] [-addr :8321] [-shards 4] [-theta 3] [-tsnd 0] [-nstd 0] \
 //	       [-idle-flush 30s] [-max-session-bytes 1048576] [-max-concurrent 0] \
-//	       [-drain-timeout 30s]
+//	       [-max-frame-bytes 1048576] [-drain-timeout 30s]
+//
+// Ingest has two surfaces: JSON per vehicle (POST /v1/ingest/{id}, the
+// debug path) and the binary batched wire protocol (Content-Type
+// application/x-press-wire on either /v1/ingest or /v1/ingest/{id}) whose
+// decode path allocates nothing per point; -max-frame-bytes caps a single
+// frame's payload.
 //
 // Cold start is a memory map, not a Dijkstra run: the daemon boots strictly
 // from the SP snapshot at -snapshot (zero shortest-path rows computed —
@@ -62,6 +68,7 @@ func main() {
 		maxConc  = flag.Int("max-concurrent", 0, "max concurrent requests (0 = 4x GOMAXPROCS, <0 = unbounded)")
 		cacheB   = flag.Int("cachebytes", 0, "query cache budget in bytes (0 = server default, <0 = off)")
 		incIdx   = flag.Bool("incremental", false, "maintain the fleet index incrementally on each flush (no STR rebuilds)")
+		maxFrame = flag.Int("max-frame-bytes", 0, "binary wire frame payload cap in bytes (0 = 1 MiB default)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -107,6 +114,7 @@ func main() {
 		Stream:           press.StreamOptions{MaxSessionBytes: *maxSess},
 		QueryCacheBytes:  *cacheB,
 		IncrementalIndex: *incIdx,
+		MaxFrameBytes:    *maxFrame,
 	})
 	if err != nil {
 		st.Close()

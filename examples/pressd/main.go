@@ -6,10 +6,12 @@
 //	go run ./examples/pressd
 //
 // The walkthrough: (1) generate a city and save a snapshot; (2) boot the
-// server from it; (3) stream one vehicle's trip through POST /v1/ingest,
-// ending the trip with flush; (4) ask whereat/whenat/range/mindistance over
-// HTTP; (5) read /v1/stats; (6) drain with Shutdown and show the store
-// survived. cmd/pressd packages exactly this server as a standalone binary.
+// server from it; (3) stream one vehicle's trip through POST /v1/ingest/{id}
+// as JSON, ending the trip with flush, and a second vehicle through the
+// binary batched wire protocol on POST /v1/ingest; (4) ask
+// whereat/whenat/range/mindistance over HTTP; (5) read /v1/stats; (6) drain
+// with Shutdown and show the store survived. cmd/pressd packages exactly
+// this server as a standalone binary.
 package main
 
 import (
@@ -144,29 +146,27 @@ func main() {
 		pos.X-100, pos.Y-100, pos.X+100, pos.Y+100), &hit)
 	fmt.Printf("range 100m box   -> hit=%v\n", hit.Hit)
 
-	// A second vehicle, then the fleet-level query and min distance.
-	var pts2 []point
+	// A second vehicle reports over the binary wire protocol instead — the
+	// high-throughput surface a real telematics gateway would batch through.
+	// One CRC-framed frame carries the whole trip; the flush flag on the
+	// group ends the session server-side.
+	var enc press.WireEncoder
+	enc.StartGroup(7, true)
 	_ = ds.Truth[7].Replay(
-		func(e press.EdgeID) error {
-			v := int64(e)
-			pts2 = append(pts2, point{Edge: &v})
-			return nil
-		},
-		func(p press.TemporalEntry) error {
-			s := &struct {
-				D float64 `json:"d"`
-				T float64 `json:"t"`
-			}{p.D, p.T}
-			pts2 = append(pts2, point{Sample: s})
-			return nil
-		},
+		func(e press.EdgeID) error { enc.Edge(e); return nil },
+		func(p press.TemporalEntry) error { enc.Sample(p); return nil },
 	)
-	body, _ = json.Marshal(map[string]any{"points": pts2, "flush": true})
-	r2, err := http.Post(base+"/v1/ingest/7", "application/json", bytes.NewReader(body))
+	r2, err := http.Post(base+"/v1/ingest", press.WireContentType, bytes.NewReader(enc.Finish()))
 	if err != nil {
 		log.Fatal(err)
 	}
+	var wing struct {
+		Accepted int `json:"accepted"`
+		Flushed  int `json:"flushed"`
+	}
+	json.NewDecoder(r2.Body).Decode(&wing)
 	r2.Body.Close()
+	fmt.Printf("vehicle 7: %d points accepted over binary wire, %d trip(s) flushed\n", wing.Accepted, wing.Flushed)
 
 	var dist struct{ Distance float64 }
 	get("/v1/mindistance?a=3&b=7", &dist)

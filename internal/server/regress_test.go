@@ -1,0 +1,112 @@
+// Regression tests for serving-layer contract bugs: the JSON ingest
+// endpoint must reject bodies with trailing data instead of silently
+// truncating them, and a second Serve call must be refused instead of
+// silently orphaning the first listener at Shutdown.
+package server_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"press"
+)
+
+// A JSON ingest body is exactly one request object. Anything after it —
+// a second object, stray bytes, a concatenated batch a confused client
+// meant to send — used to be silently ignored, acknowledging data that
+// was never applied. It must be a 400 with nothing accepted from the
+// trailing part.
+func TestIngestRejectsTrailingData(t *testing.T) {
+	ts, _ := wireServer(t)
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/ingest/1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	valid := `{"points":[{"edge":0}],"flush":false}`
+	if s := post(valid); s != http.StatusOK {
+		t.Fatalf("clean body: status %d", s)
+	}
+	if s := post(valid + "\n \t"); s != http.StatusOK {
+		t.Fatalf("trailing whitespace: status %d, want 200", s)
+	}
+	for _, trailer := range []string{valid, "garbage", "[]", "0"} {
+		if s := post(valid + trailer); s != http.StatusBadRequest {
+			t.Fatalf("trailing %q: status %d, want 400", trailer, s)
+		}
+	}
+}
+
+// Serve is once-per-Server: a second call used to overwrite the registered
+// http.Server, so Shutdown drained only the latest listener and left the
+// first accepting connections with no graceful stop. The second call must
+// fail fast and close its listener.
+func TestServeSecondCallRejected(t *testing.T) {
+	fxt := getFixture(t)
+	st, err := press.CreateShardedFleetStore(t.TempDir()+"/fleet", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln1) }()
+
+	// Wait for the first listener to actually serve.
+	base := "http://" + ln1.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first listener never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln2); err == nil {
+		t.Fatal("second Serve succeeded; first listener is now orphaned")
+	}
+	if _, err := ln2.Accept(); err == nil {
+		t.Fatal("rejected Serve left its listener open")
+	}
+
+	// The first listener is unaffected and still drains through Shutdown.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("first listener broken by rejected second Serve: %v", err)
+	}
+	resp.Body.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after graceful Shutdown", err)
+	}
+}

@@ -5,7 +5,7 @@
 // stored compressed trajectories — the serving system the paper pitches
 // compression as enabling.
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
 //	POST /v1/ingest/{id}   feed points for vehicle id; body
 //	                       {"points":[{"edge":E}|{"sample":{"d":D,"t":T}}|both,...],
@@ -13,6 +13,15 @@
 //	                       vehicle's online session; flush ends the trip.
 //	                       413 when a point drives the session past the
 //	                       memory cap (session force-flushed, point kept).
+//	                       With Content-Type application/x-press-wire the
+//	                       body is binary wire frames instead (see
+//	                       internal/wire); every frame group must carry
+//	                       this vehicle's id.
+//	POST /v1/ingest        binary-only bulk ingest: a stream of wire
+//	                       frames, each batching points for any number of
+//	                       vehicles — the high-throughput path; JSON stays
+//	                       the debug surface. Responds with a JSON summary
+//	                       {"accepted","frames","flushed"}.
 //	GET  /v1/whereat       ?id=&t=          -> {"x":..,"y":..}
 //	GET  /v1/whenat        ?id=&x=&y=       -> {"t":..}
 //	GET  /v1/range         ?id=&t1=&t2=&xmin=&ymin=&xmax=&ymax= -> {"hit":..}
@@ -42,6 +51,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -59,6 +69,7 @@ import (
 	"press/internal/store"
 	"press/internal/stream"
 	"press/internal/traj"
+	"press/internal/wire"
 )
 
 // SPInfo mirrors the facade's SPStats accounting: how the shortest-path
@@ -86,6 +97,10 @@ type Options struct {
 	// and memoized summaries. 0 selects DefaultQueryCacheBytes; negative
 	// disables caching entirely.
 	QueryCacheBytes int
+	// MaxFrameBytes caps a single binary wire frame's payload on the ingest
+	// endpoints (see internal/wire); 0 selects wire.DefaultMaxPayload
+	// (1 MiB). Oversized frames are refused with 413 before buffering.
+	MaxFrameBytes int
 	// IncrementalIndex selects the incrementally maintained fleet index:
 	// each session flush upserts the vehicle's bounding summary in place
 	// (O(1)), so fleet queries never pay an STR rebuild as the store grows.
@@ -133,6 +148,12 @@ type Server struct {
 
 	view  *query.View  // single-vehicle queries + index verification
 	cache *query.Cache // nil = caching disabled
+
+	// Binary wire-protocol counters (see wire.go).
+	maxFrame   int
+	wireFrames atomic.Uint64
+	wirePoints atomic.Uint64
+	wireCRC    atomic.Uint64
 
 	// Fleet index state. Exactly one of the two modes is active:
 	// STR (idx, rebuilt when idxGen falls behind the store generation) or
@@ -220,7 +241,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if maxc > 0 {
 		s.sem = make(chan struct{}, maxc)
 	}
+	s.maxFrame = cfg.MaxFrameBytes
+	if s.maxFrame <= 0 {
+		s.maxFrame = wire.DefaultMaxPayload
+	}
 	s.route("POST /v1/ingest/{id}", "ingest", s.handleIngest)
+	s.route("POST /v1/ingest", "ingest_wire", s.handleIngestWire)
 	s.route("GET /v1/whereat", "whereat", s.handleWhereAt)
 	s.route("GET /v1/whenat", "whenat", s.handleWhenAt)
 	s.route("GET /v1/range", "range", s.handleRange)
@@ -285,6 +311,13 @@ func (s *Server) isDraining() bool {
 
 // Serve accepts connections on ln until Shutdown. It blocks; the
 // http.ErrServerClosed a graceful stop produces is swallowed.
+//
+// Serve may be called at most once per Server: Shutdown drains exactly the
+// listener Serve registered, so a second call — which would silently
+// replace the registered http.Server and leave the first listener running
+// ungracefully after Shutdown — is rejected with an error and its listener
+// closed. Callers that need several listeners over one Server should wrap
+// Handler() in their own http.Server instances.
 func (s *Server) Serve(ln net.Listener) error {
 	srv := &http.Server{Handler: s.mux}
 	s.mu.Lock()
@@ -292,6 +325,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		ln.Close()
 		return errors.New("server: already shut down")
+	}
+	if s.httpSrv != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve already called (wrap Handler() for extra listeners)")
 	}
 	s.httpSrv = srv
 	s.mu.Unlock()
@@ -420,10 +458,43 @@ const maxIngestBody = 1 << 20
 
 // --- handlers ---
 
+// ingestStatus maps a session-layer push/flush error to its HTTP status.
+//
+// The contract, relied on by both the JSON and binary ingest handlers:
+//
+//   - The BARE stream.ErrSessionTooLarge sentinel (plain equality, not
+//     errors.Is) is the only 413: it means the force-flush succeeded, the
+//     breaching point is in the store, and the client merely learns its
+//     trajectory was cut.
+//   - A WRAPPED/JOINED ErrSessionTooLarge (errors.Join with the sink
+//     failure) deliberately falls through to 500: the session was dropped
+//     with its data — a server-side loss the client must not mistake for
+//     the benign cut. This is why the first case must never use errors.Is.
+//   - Manager shutdown and lifetime-context cancellation — wrapped or not,
+//     matched with errors.Is — are 503: the daemon is draining, retry
+//     against the next instance.
+//   - Everything else (sink append failures, codec errors) is 500.
+func ingestStatus(err error) int {
+	switch {
+	case err == stream.ErrSessionTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, stream.ErrManagerClosed), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad vehicle id")
+		return
+	}
+	if isWireRequest(r) {
+		// Content negotiation: a binary body on the per-vehicle endpoint
+		// must carry frames for exactly that vehicle.
+		s.ingestWire(w, r, &id)
 		return
 	}
 	var req ingestRequest
@@ -437,6 +508,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeErr(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	// One request is one JSON object: trailing bytes (a concatenated second
+	// object, stray garbage) mean the client is confused, and silently
+	// accepting the prefix would ack points the caller never meant to batch
+	// here. json.Decoder stops at the first complete value, so probe for a
+	// clean EOF explicitly.
+	if _, err := dec.Token(); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "bad body: trailing data after request object")
 		return
 	}
 	resp := ingestResponse{}
@@ -457,22 +537,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			resp.Error = err.Error()
-			switch {
-			case err == stream.ErrSessionTooLarge:
-				// The bare sentinel means the force-flush succeeded: the
-				// point was accepted and its record is in the store; the
-				// client learns its trajectory was cut. (A flush that
-				// failed arrives joined to the sentinel — the session was
-				// dropped with its data, which is a server-side 500, not a
-				// client-side 413.)
+			status := ingestStatus(err)
+			if status == http.StatusRequestEntityTooLarge {
+				// Benign cut (see ingestStatus): the breaching point was
+				// accepted and its record is in the store.
 				resp.Accepted++
 				resp.Flushed = true
-				writeJSON(w, http.StatusRequestEntityTooLarge, resp)
-			case errors.Is(err, stream.ErrManagerClosed), errors.Is(err, context.Canceled):
-				writeJSON(w, http.StatusServiceUnavailable, resp)
-			default:
-				writeJSON(w, http.StatusInternalServerError, resp)
 			}
+			writeJSON(w, status, resp)
 			return
 		}
 		resp.Accepted++
@@ -480,11 +552,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if req.Flush {
 		if err := s.mgr.Flush(id); err != nil {
 			resp.Error = err.Error()
-			if errors.Is(err, stream.ErrManagerClosed) || errors.Is(err, context.Canceled) {
-				writeJSON(w, http.StatusServiceUnavailable, resp)
-			} else {
-				writeJSON(w, http.StatusInternalServerError, resp)
+			status := ingestStatus(err)
+			if status == http.StatusRequestEntityTooLarge {
+				// Flush cannot breach the cap; never map it to 413.
+				status = http.StatusInternalServerError
 			}
+			writeJSON(w, status, resp)
 			return
 		}
 		resp.Flushed = true
@@ -619,6 +692,7 @@ type statsResponse struct {
 	Store    storeStats                 `json:"store"`
 	Query    queryStats                 `json:"query"`
 	Index    indexInfo                  `json:"index"`
+	Wire     wireStats                  `json:"wire"`
 	Server   serverStats                `json:"server"`
 	Endpoint map[string]endpointSummary `json:"endpoints"`
 }
@@ -698,6 +772,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Decodes:      s.view.Decodes(),
 		},
 		Index: s.indexInfo(),
+		Wire:  s.wireInfo(),
 		Server: serverStats{
 			InFlight:      len(s.sem),
 			MaxConcurrent: cap(s.sem),
@@ -731,6 +806,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("press_sessions_active", "Open ingest sessions.", float64(s.mgr.Active()))
 	counter("press_sessions_flushed_total", "Session records appended to the store.", s.mgr.Flushed())
 	counter("press_ingest_points_total", "GPS observations accepted.", s.mgr.Pushes())
+
+	wi := s.wireInfo()
+	counter("press_wire_frames_total", "Binary wire frames accepted.", wi.Frames)
+	counter("press_wire_points_total", "Points ingested through the binary wire protocol.", wi.Points)
+	counter("press_wire_crc_errors_total", "Wire frames rejected for a checksum mismatch.", wi.CRCErrors)
 
 	gauge("press_store_records", "Live records in the fleet store.", float64(s.st.Len()))
 	gauge("press_store_bytes", "Fleet store size on disk.", float64(s.st.SizeBytes()))

@@ -1,0 +1,219 @@
+// Binary wire-protocol battery over the HTTP serving layer: the binary and
+// JSON ingest surfaces must store byte-identical records, the restricted
+// /v1/ingest/{id} form must pin frames to one vehicle, and malformed frames
+// (bad CRC, wrong content type) must map to the documented statuses while
+// ticking the wire counters.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"press"
+)
+
+// wireServer spins up a fresh store + server over the shared fixture.
+func wireServer(t *testing.T) (*httptest.Server, *press.ShardedFleetStore) {
+	t.Helper()
+	fxt := getFixture(t)
+	st, err := press.CreateShardedFleetStore(t.TempDir()+"/fleet", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fxt.sys.NewServer(context.Background(), st, press.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	})
+	return ts, st
+}
+
+// encodeTrip appends one vehicle's full trip as a flushed group on enc.
+func encodeTrip(enc *press.WireEncoder, id uint64, tr *press.Trajectory) {
+	enc.StartGroup(id, true)
+	_ = tr.Replay(
+		func(e press.EdgeID) error { enc.Edge(e); return nil },
+		func(p press.TemporalEntry) error { enc.Sample(p); return nil },
+	)
+}
+
+type wireResp struct {
+	Accepted int    `json:"accepted"`
+	Frames   int    `json:"frames"`
+	Flushed  int    `json:"flushed"`
+	Error    string `json:"error,omitempty"`
+}
+
+func postWire(t *testing.T, url string, body []byte) (int, wireResp) {
+	t.Helper()
+	resp, err := http.Post(url, press.WireContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wr wireResp
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatalf("decoding wire ingest response: %v", err)
+	}
+	return resp.StatusCode, wr
+}
+
+// wireStatsDoc is the wire section of /v1/stats.
+type wireStatsDoc struct {
+	Wire struct {
+		Frames    uint64 `json:"frames"`
+		Points    uint64 `json:"points"`
+		CRCErrors uint64 `json:"crc_errors"`
+	} `json:"wire"`
+}
+
+// The binary multi-vehicle surface must produce records byte-identical to
+// the JSON debug surface fed the same observations — the protocols differ
+// only in framing, never in what reaches the compressor.
+func TestWireAndJSONIngestEquivalent(t *testing.T) {
+	fxt := getFixture(t)
+	jsonTS, jsonStore := wireServer(t)
+	binTS, binStore := wireServer(t)
+
+	ingestFleet(t, jsonTS.URL, fxt) // chunked JSON, per-vehicle endpoint
+
+	// One binary frame per vehicle, all POSTed to the bulk endpoint; batch
+	// a few vehicles per request to exercise multi-frame bodies too.
+	var enc press.WireEncoder
+	total := 0
+	for i, tr := range fxt.ds.Truth {
+		encodeTrip(&enc, uint64(i), tr)
+		total += len(points(tr))
+		if (i+1)%8 == 0 || i == len(fxt.ds.Truth)-1 {
+			status, wr := postWire(t, binTS.URL+"/v1/ingest", enc.Finish())
+			if status != http.StatusOK {
+				t.Fatalf("binary ingest: status %d (%s)", status, wr.Error)
+			}
+			enc.Reset()
+		}
+	}
+
+	var stats wireStatsDoc
+	if s := getJSON(t, binTS.URL+"/v1/stats", &stats); s != http.StatusOK {
+		t.Fatalf("stats = %d", s)
+	}
+	if stats.Wire.Frames == 0 || stats.Wire.CRCErrors != 0 {
+		t.Fatalf("wire stats: %+v", stats.Wire)
+	}
+	if stats.Wire.Points != uint64(total) {
+		t.Fatalf("wire points = %d, want %d", stats.Wire.Points, total)
+	}
+
+	for i := range fxt.ds.Truth {
+		id := uint64(i)
+		want, err := jsonStore.Get(id)
+		if err != nil {
+			t.Fatalf("vehicle %d missing from JSON store: %v", i, err)
+		}
+		got, err := binStore.Get(id)
+		if err != nil {
+			t.Fatalf("vehicle %d missing from binary store: %v", i, err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("vehicle %d: binary-ingested record differs from JSON-ingested", i)
+		}
+	}
+
+	// The wire counters are also exposed on /metrics.
+	resp, err := http.Get(binTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, m := range []string{"press_wire_frames_total", "press_wire_points_total", "press_wire_crc_errors_total"} {
+		if !strings.Contains(body, m) {
+			t.Fatalf("metrics missing %s", m)
+		}
+	}
+}
+
+// A binary body on /v1/ingest/{id} is accepted only when every group
+// targets that vehicle; a mismatched group is rejected wholesale.
+func TestWireIngestRestrictedToPathVehicle(t *testing.T) {
+	fxt := getFixture(t)
+	ts, st := wireServer(t)
+	tr := fxt.ds.Truth[0]
+
+	var enc press.WireEncoder
+	encodeTrip(&enc, 7, tr)
+	status, wr := postWire(t, ts.URL+"/v1/ingest/7", enc.Finish())
+	if status != http.StatusOK || wr.Flushed != 1 {
+		t.Fatalf("matching id: status %d, resp %+v", status, wr)
+	}
+	if _, err := st.Get(7); err != nil {
+		t.Fatalf("vehicle 7 not stored: %v", err)
+	}
+
+	enc.Reset()
+	encodeTrip(&enc, 8, tr)
+	status, wr = postWire(t, ts.URL+"/v1/ingest/9", enc.Finish())
+	if status != http.StatusBadRequest {
+		t.Fatalf("mismatched id: status %d, want 400 (resp %+v)", status, wr)
+	}
+	if _, err := st.Get(8); err == nil {
+		t.Fatal("mismatched-id frame reached the store")
+	}
+}
+
+// A corrupted frame must be a 400, tick the crc_errors counter, and leave
+// the session layer untouched.
+func TestWireIngestBadCRC(t *testing.T) {
+	fxt := getFixture(t)
+	ts, _ := wireServer(t)
+
+	var enc press.WireEncoder
+	encodeTrip(&enc, 1, fxt.ds.Truth[1])
+	frame := bytes.Clone(enc.Finish())
+	frame[len(frame)-1] ^= 0x40 // flip a payload bit; header CRC now lies
+
+	status, wr := postWire(t, ts.URL+"/v1/ingest", frame)
+	if status != http.StatusBadRequest {
+		t.Fatalf("corrupt frame: status %d (resp %+v)", status, wr)
+	}
+	if wr.Accepted != 0 {
+		t.Fatalf("corrupt frame accepted %d points", wr.Accepted)
+	}
+	var stats wireStatsDoc
+	if s := getJSON(t, ts.URL+"/v1/stats", &stats); s != http.StatusOK {
+		t.Fatalf("stats = %d", s)
+	}
+	if stats.Wire.CRCErrors != 1 {
+		t.Fatalf("crc_errors = %d, want 1", stats.Wire.CRCErrors)
+	}
+}
+
+// The bulk endpoint is binary-only: anything but the wire content type is
+// an explicit 415, not a JSON parse error.
+func TestWireIngestWrongContentType(t *testing.T) {
+	ts, _ := wireServer(t)
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json",
+		strings.NewReader(`{"points":[],"flush":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("JSON on bulk endpoint: status %d, want 415", resp.StatusCode)
+	}
+}

@@ -272,6 +272,82 @@ func (m *Manager) Push(id uint64, e roadnet.EdgeID, p traj.Entry) error {
 	})
 }
 
+// Obs is one observation for the batched push path: the edge the vehicle
+// entered (roadnet.NoEdge when the fix stayed on the current edge), its
+// (d, t) sample, or both (edge applied first, the trajectory's replay
+// order). An Obs with neither is a no-op but still counts as accepted.
+type Obs struct {
+	Edge      roadnet.EdgeID
+	Sample    traj.Entry
+	HasSample bool
+}
+
+// PushBatch feeds a batch of observations for vehicle id under a single
+// session-lock acquisition — the serving hot path behind the binary wire
+// protocol. It is closure-free and allocation-free in steady state (the
+// only allocations are the session's own retained-element growth), unlike
+// the per-point Push methods whose captured arguments may escape.
+//
+// Per-point semantics are identical to Push: each observation is applied in
+// order, and a point that drives the session past Options.MaxSessionBytes
+// force-flushes the session *including* that point. PushBatch then returns
+// the number of observations applied (the breaching point is the last) and
+// ErrSessionTooLarge — match with errors.Is; a joined flush failure means
+// the cut trajectory was dropped, not stored. On success it returns
+// (len(obs), nil).
+func (m *Manager) PushBatch(id uint64, obs []Obs) (int, error) {
+	if len(obs) == 0 {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return 0, ErrManagerClosed
+		}
+		if err := m.ctx.Err(); err != nil {
+			return 0, context.Cause(m.ctx)
+		}
+		return 0, nil
+	}
+	for {
+		s, err := m.get(id)
+		if err != nil {
+			return 0, err
+		}
+		s.mu.Lock()
+		if s.end {
+			s.mu.Unlock()
+			// Raced with a flush that ended s; help unmap it and retry —
+			// same recovery as withSession.
+			m.removeSession(s)
+			continue
+		}
+		maxBytes := m.opt.MaxSessionBytes
+		for i := range obs {
+			o := &obs[i]
+			if o.Edge != roadnet.NoEdge {
+				s.oc.PushEdge(o.Edge)
+			}
+			if o.HasSample {
+				s.oc.PushSample(o.Sample)
+			}
+			if maxBytes > 0 && s.oc.MemoryBytes() > maxBytes {
+				err := m.flushLocked(s)
+				s.mu.Unlock()
+				m.removeSession(s)
+				m.pushes.Add(uint64(i + 1))
+				if err != nil {
+					return i + 1, errors.Join(ErrSessionTooLarge, err)
+				}
+				return i + 1, ErrSessionTooLarge
+			}
+		}
+		s.at = time.Now()
+		s.mu.Unlock()
+		m.pushes.Add(uint64(len(obs)))
+		return len(obs), nil
+	}
+}
+
 // flushSession finalizes one session and appends its record to the sink.
 // An empty session (no points since it opened) ends silently — idle sweeps
 // must not litter the store with empty records. The session is removed

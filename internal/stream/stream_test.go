@@ -642,3 +642,220 @@ func TestOnFlushNotCalledOnAppendError(t *testing.T) {
 		t.Error("OnFlush fired despite append failure")
 	}
 }
+
+// obsStream converts a trajectory into the batched-push observation
+// sequence: one Obs per replay event (edge or sample), the same order the
+// per-point methods would see.
+func obsStream(tr *traj.Trajectory) []Obs {
+	var obs []Obs
+	_ = tr.Replay(
+		func(e roadnet.EdgeID) error {
+			obs = append(obs, Obs{Edge: e})
+			return nil
+		},
+		func(p traj.Entry) error {
+			obs = append(obs, Obs{Edge: roadnet.NoEdge, Sample: p, HasSample: true})
+			return nil
+		},
+	)
+	return obs
+}
+
+// PushBatch must be observably identical to the per-point push methods:
+// same accepted counts, same flushed records byte for byte.
+func TestPushBatchMatchesPerPoint(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i, tr := range ds.Truth {
+		batchID := uint64(2 * i)
+		pointID := uint64(2*i + 1)
+		obs := obsStream(tr)
+		n, err := m.PushBatch(batchID, obs)
+		if err != nil {
+			t.Fatalf("PushBatch %d: %v", i, err)
+		}
+		if n != len(obs) {
+			t.Fatalf("PushBatch %d accepted %d of %d", i, n, len(obs))
+		}
+		feed(t, m, pointID, tr)
+		if err := m.Flush(batchID); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Flush(pointID); err != nil {
+			t.Fatal(err)
+		}
+		a, err := st.Get(batchID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := st.Get(pointID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Marshal(), b.Marshal()) {
+			t.Fatalf("trajectory %d: batched and per-point records differ", i)
+		}
+	}
+}
+
+// A batch that breaches the session cap mid-way is cut exactly like the
+// per-point path: the breaching point is included and persisted, the
+// accepted count says where, and resubmitting the remainder loses nothing.
+func TestPushBatchCapBreach(t *testing.T) {
+	comp, ds, st := fixture(t)
+	strict, err := core.NewCompressor(comp.Graph, comp.SP, comp.CB, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(context.Background(), strict, st, Options{MaxSessionBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr := ds.Truth[0]
+	for _, cand := range ds.Truth {
+		if len(cand.Path) > len(tr.Path) {
+			tr = cand
+		}
+	}
+	const id = 11
+	obs := obsStream(tr)
+	breaches := 0
+	var pushedEdges []roadnet.EdgeID
+	for len(obs) > 0 {
+		n, err := m.PushBatch(id, obs)
+		for _, o := range obs[:n] {
+			if o.Edge != roadnet.NoEdge {
+				pushedEdges = append(pushedEdges, o.Edge)
+			}
+		}
+		if err == nil {
+			if n != len(obs) {
+				t.Fatalf("clean PushBatch accepted %d of %d", n, len(obs))
+			}
+			break
+		}
+		if !errors.Is(err, ErrSessionTooLarge) {
+			t.Fatalf("PushBatch: %v", err)
+		}
+		if err != ErrSessionTooLarge {
+			t.Fatalf("force-flush to a healthy sink joined an error: %v", err)
+		}
+		if n == 0 || n > len(obs) {
+			t.Fatalf("breach accepted %d of %d", n, len(obs))
+		}
+		breaches++
+		obs = obs[n:]
+	}
+	if breaches == 0 {
+		t.Fatal("256-byte cap never breached by the longest trajectory")
+	}
+	if err := m.Flush(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Len(); got != breaches+1 {
+		t.Fatalf("store has %d records, want %d breaches + 1", got, breaches)
+	}
+	var recovered []roadnet.EdgeID
+	err = st.Scan(func(_ uint64, ct *core.Compressed) error {
+		seg, err := strict.Decompress(ct)
+		if err != nil {
+			return err
+		}
+		recovered = append(recovered, seg.Path...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(pushedEdges) {
+		t.Fatalf("recovered %d edges across segments, pushed %d", len(recovered), len(pushedEdges))
+	}
+	for i := range pushedEdges {
+		if recovered[i] != pushedEdges[i] {
+			t.Fatalf("edge %d: recovered %d, pushed %d", i, recovered[i], pushedEdges[i])
+		}
+	}
+}
+
+// PushBatch refuses like the per-point path after Shutdown, including for
+// empty batches (which must not open a session either way).
+func TestPushBatchAfterShutdown(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PushBatch(1, nil); err != nil {
+		t.Fatalf("empty batch on open manager: %v", err)
+	}
+	if m.Active() != 0 {
+		t.Fatal("empty batch opened a session")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PushBatch(1, obsStream(ds.Truth[0])); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("PushBatch after shutdown: %v, want ErrManagerClosed", err)
+	}
+	if _, err := m.PushBatch(1, nil); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("empty PushBatch after shutdown: %v, want ErrManagerClosed", err)
+	}
+}
+
+// BenchmarkPushBatch measures the batched session hot path the binary wire
+// protocol rides: one lock acquisition per batch, no per-point closures.
+// Each iteration is one full trip (batch push + flush), so the codec's
+// strictly-increasing-time contract holds at any N; ns/point amortizes the
+// end-of-trip FST encode the way a live feed pays it.
+func BenchmarkPushBatch(b *testing.B) {
+	opt := gen.Default(8)
+	opt.City.Rows, opt.City.Cols = 6, 6
+	ds, err := gen.Generate(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := spindex.NewTable(ds.Graph)
+	corpus := make([]traj.Path, 0, 8)
+	for _, p := range ds.Trips[:8] {
+		corpus = append(corpus, core.SPCompress(tab, p))
+	}
+	cb, err := core.Train(corpus, core.TrainOptions{NumEdges: ds.Graph.NumEdges(), Theta: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := core.NewCompressor(ds.Graph, tab, cb, 50, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.CreateSharded(b.TempDir()+"/fleet", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	obs := obsStream(ds.Truth[0])
+	points := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i % 64)
+		n, err := m.PushBatch(id, obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Flush(id); err != nil {
+			b.Fatal(err)
+		}
+		points += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(points), "ns/point")
+}

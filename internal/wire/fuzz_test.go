@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary byte streams at the frame decoder. The
+// contract under fuzz: never panic, never loop forever, and fail only with
+// the typed error set (or end with a clean io.EOF). Seeds cover valid
+// single- and multi-frame streams, every-byte truncations of a valid frame
+// and a CRC flip, so the corpus starts deep inside the format.
+func FuzzWireDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(99))
+	var e Encoder
+	valid := encodeGroups(&e, randGroups(rng, 3, 10))
+	f.Add(append([]byte(nil), valid...))
+	two := append(append([]byte(nil), valid...), valid...)
+	f.Add(two)
+	for cut := 0; cut < len(valid); cut += 7 {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[13] ^= 0xff // inside the CRC field
+	f.Add(crcFlip)
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data), 1<<16)
+		for {
+			fr, err := rd.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+					!errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrChecksum) &&
+					!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				return
+			}
+			it := fr.Groups()
+			var o Obs
+			points := 0
+			for it.Next() {
+				for it.Point(&o) {
+					points++
+				}
+			}
+			if err := it.Err(); err != nil && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("untyped walk error: %v", err)
+			}
+			if points > len(data) {
+				t.Fatalf("decoded %d points from %d bytes", points, len(data))
+			}
+		}
+	})
+}

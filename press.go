@@ -61,6 +61,7 @@ import (
 	"press/internal/store"
 	"press/internal/stream"
 	"press/internal/traj"
+	"press/internal/wire"
 )
 
 // Re-exported core types. External callers use these names; the underlying
@@ -556,8 +557,27 @@ func (s *System) NewStreamIngestorOptions(ctx context.Context, sink StreamSink, 
 // protocol and cmd/pressd for the packaged binary.
 type Server = server.Server
 
-// ServerOptions tunes a Server (concurrency bound, session layer).
+// ServerOptions tunes a Server (concurrency bound, session layer, binary
+// frame cap).
 type ServerOptions = server.Options
+
+// WireEncoder builds binary ingest frames for the serving layer's compact
+// wire protocol (Content-Type WireContentType): length-prefixed,
+// CRC32-framed batches of points for any number of vehicles. JSON remains
+// the debug ingest surface; this is the high-throughput one. See
+// internal/wire for the frame layout.
+type WireEncoder = wire.Encoder
+
+// WireObs is one observation for a WireEncoder: an edge (NoEdge when
+// absent), a (d, t) sample, or both.
+type WireObs = wire.Obs
+
+// NoEdge is the sentinel EdgeID for "no edge" (e.g. a WireObs carrying only
+// a temporal sample).
+const NoEdge = roadnet.NoEdge
+
+// WireContentType selects the binary wire protocol on the ingest endpoints.
+const WireContentType = wire.ContentType
 
 // NewServer assembles the HTTP serving layer over this system and the given
 // fleet store: POST /v1/ingest/{id} feeds per-vehicle sessions that flush
