@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench spbench serverbench querybench serve smoke fuzz allocgate ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench spbenchsmoke serverbench querybench serve smoke fuzz allocgate ci
 
 all: ci
 
@@ -31,10 +31,17 @@ benchsmoke:
 streambench:
 	$(GO) run ./cmd/pressbench -fig streambench
 
-# The SP snapshot scenario: precompute-vs-mmap-open latency and lookup
-# throughput heap vs mapped.
+# The SP scenario: precompute-vs-mmap-open latency, lookup throughput heap
+# vs mapped, then the table-vs-contraction-hierarchy scaling race at
+# 1x/4x/16x with hard assertions (bit-identical answers everywhere;
+# >= 5x faster precompute and <= 10% of the table's memory at 16x).
 spbench:
 	$(GO) run ./cmd/pressbench -fig spbench
+
+# The same scenario capped at the 1x network: fast enough for every CI run,
+# still asserting answer equality and hier-builds-faster-than-table.
+spbenchsmoke:
+	$(GO) run ./cmd/pressbench -fig spbench -trips 40 -spscale 1
 
 # The pressd HTTP serving scenario: JSON vs binary-wire ingest points/s,
 # then whereat requests/s at 1/2/4/8 concurrent clients over loopback.
@@ -66,6 +73,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -fuzz=FuzzSnapshotOpen -fuzztime=$(FUZZTIME) ./internal/spindex
+	$(GO) test -fuzz=FuzzHierVsTable -fuzztime=$(FUZZTIME) ./internal/spindex
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Allocation-regression gate: the binary wire frame decode must stay at
@@ -73,4 +81,4 @@ fuzz:
 allocgate:
 	./scripts/allocgate.sh
 
-ci: build vet race benchsmoke fuzz allocgate smoke
+ci: build vet race benchsmoke fuzz allocgate spbenchsmoke smoke

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +43,7 @@ import (
 
 	"press/internal/core"
 	"press/internal/experiments"
+	"press/internal/gen"
 	"press/internal/mapmatch"
 	"press/internal/pipeline"
 	"press/internal/query"
@@ -60,6 +62,8 @@ func main() {
 		trips   = flag.Int("trips", 150, "fleet size")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"worker pool size for the parallel stages (SP precompute, pipeline scenario)")
+		spscale = flag.Int("spscale", 16,
+			"largest network scale for the spbench race (perfect square: 1, 4 or 16)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -176,7 +180,7 @@ func main() {
 			return runStreamBenchScenario(env)
 		}},
 		{"spbench", func() error {
-			return runSPBenchScenario(env, *workers)
+			return runSPBenchScenario(env, *workers, *spscale)
 		}},
 		{"serverbench", func() error {
 			return runServerBenchScenario(env, *workers)
@@ -441,13 +445,23 @@ func runStreamBenchScenario(env *experiments.Env) error {
 	return nil
 }
 
-// runSPBenchScenario measures what the mmap'd SP snapshot buys: the one-time
-// cost of materializing the all-pair table (precompute + save) against the
-// per-boot cost of memory-mapping the snapshot back, then per-lookup
-// throughput and memory residency of the two SP sources. Opening the
-// snapshot does CRC validation but zero Dijkstra work, so "open(mapped)"
-// stays flat in the network size where "precompute" grows O(|E|^2 log |E|).
-func runSPBenchScenario(env *experiments.Env, workers int) error {
+// runSPBenchScenario races the shortest-path implementations in two phases.
+//
+// Phase 1 (the original spbench, on the workload graph) measures what the
+// mmap'd all-pairs snapshot buys: the one-time cost of materializing the
+// table against the per-boot cost of mapping it back, then lookup
+// throughput heap vs mapped.
+//
+// Phase 2 is the scaling race: at 1x/4x/16x the default city (up to
+// -spscale) it builds the full table and the contraction hierarchy over the
+// same graph, spot-checks that their answers are bit-identical, and reports
+// precompute time, resident memory and lookup throughput side by side. The
+// run FAILS — not merely reports — if any sampled answer differs, if the
+// hierarchy ever builds slower than the table, or if at 16x the hierarchy
+// misses its headline targets (>= 5x faster precompute, <= 10% of the
+// table's memory): the O(|E|^2) barrier is an asserted property, not a
+// narrative.
+func runSPBenchScenario(env *experiments.Env, workers, spscale int) error {
 	g := env.DS.Graph
 	tab := spindex.NewTable(g)
 	t0 := time.Now()
@@ -488,9 +502,7 @@ func runSPBenchScenario(env *experiments.Env, workers int) error {
 
 	// Lookup throughput: identical random probe sequences against both
 	// sources (Dist + SPEnd per probe, the compression hot path).
-	n := g.NumEdges()
-	const probes = 2_000_000
-	bench := func(sp spindex.SP) float64 {
+	bench := func(sp spindex.SP, n, probes int) float64 {
 		rng := rand.New(rand.NewSource(42))
 		t0 := time.Now()
 		var sink float64
@@ -503,12 +515,86 @@ func runSPBenchScenario(env *experiments.Env, workers int) error {
 		_ = sink
 		return float64(probes) / time.Since(t0).Seconds()
 	}
-	heapRate := bench(tab)
-	mappedRate := bench(snap)
+	heapRate := bench(tab, g.NumEdges(), 2_000_000)
+	mappedRate := bench(snap, g.NumEdges(), 2_000_000)
 	fmt.Printf("\n%-24s %14s %14s\n", "source", "lookups/s", "resident bytes")
 	fmt.Printf("%-24s %14.0f %14d   (Go heap)\n", "Table (heap)", heapRate, tab.MemoryBytes())
 	fmt.Printf("%-24s %14.0f %14d   (page cache, shared)\n", "Snapshot (mapped)", mappedRate, snap.MappedBytes())
 	fmt.Printf("mapped/heap lookup ratio: %.2fx\n\n", mappedRate/heapRate)
+
+	// Phase 2: the table-vs-hierarchy scaling race.
+	var scales []int
+	for _, s := range []int{1, 4, 16} {
+		if s <= spscale {
+			scales = append(scales, s)
+		}
+	}
+	if len(scales) == 0 {
+		return fmt.Errorf("spbench: -spscale %d admits no scale from {1, 4, 16}", spscale)
+	}
+	fmt.Println("spbench: all-pairs table vs contraction hierarchy as the network grows")
+	fmt.Printf("%6s %8s %12s %12s %8s %12s %12s %7s %12s %12s\n",
+		"scale", "edges", "table-build", "hier-build", "speedup",
+		"table-bytes", "hier-bytes", "mem%", "tbl-lkps/s", "hier-lkps/s")
+	for _, scale := range scales {
+		opt, err := gen.DefaultCity().Scale(scale)
+		if err != nil {
+			return err
+		}
+		sg, err := gen.City(opt)
+		if err != nil {
+			return err
+		}
+		n := sg.NumEdges()
+
+		t0 := time.Now()
+		stab := spindex.NewTable(sg)
+		stab.PrecomputeAllParallel(workers)
+		tableBuild := time.Since(t0)
+
+		t0 = time.Now()
+		h := spindex.NewHier(sg)
+		hierBuild := time.Since(t0)
+
+		// Bit-exact equality spot-check on a deterministic sample of pairs
+		// before any number is reported: a fast wrong answer is worthless.
+		rng := rand.New(rand.NewSource(7))
+		for k := 0; k < 3000; k++ {
+			a := roadnet.EdgeID(rng.Intn(n))
+			b := roadnet.EdgeID(rng.Intn(n))
+			if hd, td := h.Dist(a, b), stab.Dist(a, b); hd != td && !(math.IsInf(hd, 1) && math.IsInf(td, 1)) {
+				return fmt.Errorf("spbench: scale %dx: Dist(%d,%d) hier %v != table %v", scale, a, b, hd, td)
+			}
+			if he, te := h.SPEnd(a, b), stab.SPEnd(a, b); he != te {
+				return fmt.Errorf("spbench: scale %dx: SPEnd(%d,%d) hier %v != table %v", scale, a, b, he, te)
+			}
+		}
+
+		probes := 200_000
+		tblRate := bench(stab, n, probes)
+		hierRate := bench(h, n, probes)
+		tblBytes, hierBytes := stab.MemoryBytes(), h.MemoryBytes()
+		memPct := 100 * float64(hierBytes) / float64(tblBytes)
+		buildSpeedup := float64(tableBuild) / float64(hierBuild)
+		fmt.Printf("%5dx %8d %12v %12v %7.1fx %12d %12d %6.2f%% %12.0f %12.0f\n",
+			scale, n, tableBuild.Round(time.Millisecond), hierBuild.Round(time.Millisecond),
+			buildSpeedup, tblBytes, hierBytes, memPct, tblRate, hierRate)
+
+		if buildSpeedup <= 1 {
+			return fmt.Errorf("spbench: scale %dx: hierarchy built slower than the table (%v vs %v)",
+				scale, hierBuild, tableBuild)
+		}
+		if scale == 16 {
+			if buildSpeedup < 5 {
+				return fmt.Errorf("spbench: 16x: hier precompute speedup %.1fx, want >= 5x", buildSpeedup)
+			}
+			if float64(hierBytes) > 0.10*float64(tblBytes) {
+				return fmt.Errorf("spbench: 16x: hier memory %d bytes is %.1f%% of the table's %d, want <= 10%%",
+					hierBytes, memPct, tblBytes)
+			}
+		}
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -16,9 +16,11 @@
 // auxiliary structures.
 //
 // Every subcommand takes -snapshot path: the first invocation runs the
-// all-pair Dijkstra once and saves the table there; every later invocation
-// memory-maps it back instead of recomputing (repeated CLI runs over the
-// same network pay the preprocessing cost once).
+// shortest-path preprocessing once and saves it there; every later
+// invocation memory-maps it back instead of recomputing (repeated CLI runs
+// over the same network pay the preprocessing cost once). -spmode selects
+// the implementation: the all-pairs table (snapshot) or the contraction
+// hierarchy (hier), whose answers are bit-identical at O(|E|) memory.
 package main
 
 import (
@@ -57,6 +59,7 @@ func usage() {
 type common struct {
 	net, gps, train string
 	snapshot        string
+	spmode          string
 	theta           int
 	tsnd, nstd      float64
 }
@@ -67,7 +70,9 @@ func commonFlags(fs *flag.FlagSet) *common {
 	fs.StringVar(&c.gps, "gps", "data/gps.txt", "raw GPS file")
 	fs.StringVar(&c.train, "train", "data/trips.txt", "training paths file")
 	fs.StringVar(&c.snapshot, "snapshot", "",
-		"SP snapshot path: mmap it when valid, else run Dijkstra once and save it there (cache semantics)")
+		"SP snapshot path: mmap it when valid, else build once and save it there (cache semantics)")
+	fs.StringVar(&c.spmode, "spmode", "",
+		"shortest-path implementation: table, snapshot or hier (empty = snapshot when -snapshot is set, else table)")
 	fs.IntVar(&c.theta, "theta", 3, "max mined sub-trajectory length")
 	fs.Float64Var(&c.tsnd, "tsnd", 0, "TSND bound (m)")
 	fs.Float64Var(&c.nstd, "nstd", 0, "NSTD bound (s)")
@@ -81,6 +86,7 @@ func buildSystem(c *common) (*press.System, *roadnet.Graph) {
 	cfg.Theta = c.theta
 	cfg.TSND, cfg.NSTD = c.tsnd, c.nstd
 	cfg.SPSnapshotPath = c.snapshot
+	cfg.SPMode = press.SPMode(c.spmode)
 	sys, err := press.NewSystem(g, training, cfg)
 	if err != nil {
 		fatal(err)

@@ -5,9 +5,9 @@
 // enabling.
 //
 //	pressd -net network.txt -train trips.txt -snapshot sp.snap -store fleet/ \
-//	       [-init] [-addr :8321] [-shards 4] [-theta 3] [-tsnd 0] [-nstd 0] \
-//	       [-idle-flush 30s] [-max-session-bytes 1048576] [-max-concurrent 0] \
-//	       [-max-frame-bytes 1048576] [-drain-timeout 30s]
+//	       [-init] [-spmode table|hier] [-addr :8321] [-shards 4] [-theta 3] \
+//	       [-tsnd 0] [-nstd 0] [-idle-flush 30s] [-max-session-bytes 1048576] \
+//	       [-max-concurrent 0] [-max-frame-bytes 1048576] [-drain-timeout 30s]
 //
 // Ingest has two surfaces: JSON per vehicle (POST /v1/ingest/{id}, the
 // debug path) and the binary batched wire protocol (Content-Type
@@ -18,10 +18,13 @@
 // Cold start is a memory map, not a Dijkstra run: the daemon boots strictly
 // from the SP snapshot at -snapshot (zero shortest-path rows computed —
 // check sp.cached_rows in /v1/stats), so N worker processes over the same
-// file share one physical copy of the table through the page cache. With
-// -init a missing or stale snapshot is materialized once (the only mode
-// that ever runs the all-pair precompute) and then mapped back, so first
-// boot and every later boot go through the same serving path.
+// file share one physical copy through the page cache. The format version
+// is dispatched automatically: a v1 file maps the all-pairs table, a v2
+// file maps the contraction hierarchy (same answers, O(|E|) memory). With
+// -init a missing or stale snapshot — including one of the wrong kind for
+// -spmode — is materialized once (the only mode that ever runs the
+// preprocessing) and then mapped back, so first boot and every later boot
+// go through the same serving path.
 //
 // The fleet store at -store is created when absent (with -shards segment
 // files) and reopened — recovering per shard from any crash tail — when
@@ -56,6 +59,7 @@ func main() {
 		netPath  = flag.String("net", "data/network.txt", "road network file")
 		train    = flag.String("train", "data/trips.txt", "training paths file")
 		snapshot = flag.String("snapshot", "sp.snap", "SP snapshot file to boot from")
+		spmode   = flag.String("spmode", "table", "SP implementation -init materializes: table (all-pairs, v1) or hier (contraction hierarchy, v2)")
 		init_    = flag.Bool("init", false, "materialize the snapshot if missing/stale, then boot from it")
 		storeDir = flag.String("store", "fleet", "sharded fleet store directory")
 		shards   = flag.Int("shards", 4, "shard count when creating a new store")
@@ -81,18 +85,35 @@ func main() {
 	cfg.TSND, cfg.NSTD = *tsnd, *nstd
 	cfg.SessionIdleFlush = *idle
 
+	var wantVersion uint32
+	switch *spmode {
+	case "table":
+		wantVersion = 1
+	case "hier":
+		wantVersion = 2
+	default:
+		fatal(fmt.Errorf("unknown -spmode %q (want table or hier)", *spmode))
+	}
+
 	t0 := time.Now()
+	// A snapshot of the wrong kind on disk — e.g. an all-pairs table where
+	// -spmode hier was requested — is stale the same way a corrupt one is:
+	// -init rewrites it, a plain boot serves whatever the file holds (the
+	// answers are identical either way; only the resource profile differs).
+	if *init_ {
+		if v, verr := spindex.SnapshotVersion(*snapshot); verr == nil && v != wantVersion {
+			fmt.Fprintf(os.Stderr, "pressd: snapshot %s is v%d, -spmode %s wants v%d; rematerializing\n",
+				*snapshot, v, *spmode, wantVersion)
+			materializeSnapshot(g, *snapshot, *spmode)
+		}
+	}
 	sys, err := press.NewSystemFromSnapshot(g, training, *snapshot, cfg)
 	if err != nil && *init_ && snapshotCacheMiss(err) {
-		// Materialize the snapshot directly from a shortest-path table —
+		// Materialize the snapshot directly from the shortest-path source —
 		// no codebook training, which the strict boot below does exactly
 		// once — then retry the same serving path every later boot takes.
 		fmt.Fprintf(os.Stderr, "pressd: materializing SP snapshot at %s...\n", *snapshot)
-		tab := spindex.NewTable(g)
-		tab.PrecomputeAllParallel(runtime.GOMAXPROCS(0))
-		if err := tab.SaveSnapshot(*snapshot); err != nil {
-			fatal(err)
-		}
+		materializeSnapshot(g, *snapshot, *spmode)
 		sys, err = press.NewSystemFromSnapshot(g, training, *snapshot, cfg)
 	}
 	if err != nil {
@@ -122,8 +143,8 @@ func main() {
 	}
 
 	stats := sys.SPStats()
-	fmt.Printf("pressd: booted in %v: %d edges, SP %s (%d cached rows, %d mapped bytes), store %q (%d records, %d shards)\n",
-		boot.Round(time.Millisecond), g.NumEdges(), residency(stats.Mapped),
+	fmt.Printf("pressd: booted in %v: %d edges, SP %s/%s (%d cached rows, %d mapped bytes), store %q (%d records, %d shards)\n",
+		boot.Round(time.Millisecond), g.NumEdges(), stats.Kind, residency(stats.Mapped),
 		stats.CachedRows, stats.MappedBytes, *storeDir, st.Len(), st.Shards())
 
 	errc := make(chan error, 1)
@@ -150,6 +171,24 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "pressd: clean exit")
+}
+
+// materializeSnapshot builds the requested shortest-path structure and saves
+// it at path: the parallel all-pair precompute for table mode (the only
+// path that ever runs it), the contraction hierarchy for hier mode.
+func materializeSnapshot(g *roadnet.Graph, path, mode string) {
+	switch mode {
+	case "hier":
+		if err := spindex.NewHier(g).SaveSnapshot(path); err != nil {
+			fatal(err)
+		}
+	default:
+		tab := spindex.NewTable(g)
+		tab.PrecomputeAllParallel(runtime.GOMAXPROCS(0))
+		if err := tab.SaveSnapshot(path); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // snapshotCacheMiss reports whether the strict open failed because the

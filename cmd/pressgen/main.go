@@ -31,6 +31,7 @@ func main() {
 		interval = flag.Float64("interval", 30, "GPS sampling interval (s)")
 		noise    = flag.Float64("noise", 10, "GPS noise sigma (m)")
 		detour   = flag.Float64("detour", 0.08, "per-intersection detour probability")
+		scale    = flag.Int("scale", 1, "grow the city area by this factor (perfect square: 1, 4, 16, ...)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -38,6 +39,13 @@ func main() {
 	opt := gen.Default(*trips)
 	opt.City.Rows, opt.City.Cols, opt.City.Spacing = *rows, *cols, *spacing
 	opt.City.Seed = *seed
+	if *scale != 1 {
+		scaled, err := opt.City.Scale(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		opt.City = scaled
+	}
 	opt.Trips.Seed = *seed + 1
 	opt.Trips.DetourProb = *detour
 	opt.GPS.Seed = *seed + 2

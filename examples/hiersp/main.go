@@ -1,0 +1,115 @@
+// Hierarchical shortest paths: break the O(|E|²) all-pairs barrier without
+// changing a single answer.
+//
+//	go run ./examples/hiersp
+//
+// The paper's preprocessing materializes the full all-pairs shortest-path
+// table — quadratic memory and |E| Dijkstra runs. SPModeHier swaps in a
+// contraction hierarchy over the same line graph: O(|E| + shortcuts) memory,
+// a build that gets relatively cheaper as the network grows, and answers
+// that are bit-identical to the table's (same distances, same canonical
+// tie-breaking), so compression output and query answers don't change by a
+// byte. With SPSnapshotPath set the hierarchy persists as a PRSP v2
+// snapshot and later boots memory-map it like the table snapshot.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"press"
+)
+
+func main() {
+	ds, err := press.GenerateDataset(press.DefaultDatasetOptions(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "press-hiersp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. The baseline: the fully precomputed all-pairs table.
+	tcfg := press.DefaultConfig()
+	tcfg.TSND, tcfg.NSTD = 50, 30
+	tcfg.PrecomputeShortestPaths = true
+	t0 := time.Now()
+	table, err := press.NewSystem(ds.Graph, ds.Trips[:30], tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tableBoot := time.Since(t0)
+	ts := table.SPStats()
+	fmt.Printf("table boot: %v (kind=%s, %d rows, %d heap bytes)\n",
+		tableBoot.Round(time.Millisecond), ts.Kind, ts.CachedRows, ts.HeapBytes)
+
+	// 2. The hierarchy: same answers, a fraction of the memory.
+	hcfg := press.DefaultConfig()
+	hcfg.TSND, hcfg.NSTD = 50, 30
+	hcfg.SPMode = press.SPModeHier
+	hcfg.SPSnapshotPath = filepath.Join(dir, "sp.hier")
+	t0 = time.Now()
+	hier, err := press.NewSystem(ds.Graph, ds.Trips[:30], hcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hier.Close()
+	hierBoot := time.Since(t0)
+	hs := hier.SPStats()
+	fmt.Printf("hier boot:  %v (kind=%s, %d heap bytes — %.1f%% of the table; snapshot written)\n",
+		hierBoot.Round(time.Millisecond), hs.Kind, hs.HeapBytes,
+		100*float64(hs.HeapBytes)/float64(ts.HeapBytes))
+
+	// 3. Byte-identity: the same fleet compresses to the same bytes.
+	identical, compressed := 0, 0
+	var sample *press.Compressed
+	for _, raw := range ds.Raws {
+		ctT, errT := table.CompressGPS(raw)
+		ctH, errH := hier.CompressGPS(raw)
+		if errT != nil || errH != nil {
+			continue
+		}
+		compressed++
+		if bytes.Equal(ctT.Marshal(), ctH.Marshal()) {
+			identical++
+			sample = ctH
+		}
+	}
+	fmt.Printf("compressed %d trajectories; %d byte-identical between table and hierarchy\n",
+		compressed, identical)
+	if sample != nil {
+		mid := (sample.Temporal[0].T + sample.Temporal[len(sample.Temporal)-1].T) / 2
+		pT, _ := table.WhereAt(sample, mid)
+		pH, _ := hier.WhereAt(sample, mid)
+		fmt.Printf("whereat(t=%.0fs): table (%.1f, %.1f) vs hier (%.1f, %.1f)\n",
+			mid, pT.X, pT.Y, pH.X, pH.Y)
+	}
+
+	// 4. Warm boot: the PRSP v2 snapshot memory-maps back — no contraction,
+	// no Dijkstra, one physical copy shared across processes.
+	t0 = time.Now()
+	warm, err := press.NewSystem(ds.Graph, ds.Trips[:30], hcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer warm.Close()
+	ws := warm.SPStats()
+	fmt.Printf("warm boot:  %v (kind=%s, mapped=%v, %d mapped bytes)\n",
+		time.Since(t0).Round(time.Millisecond), ws.Kind, ws.Mapped, ws.MappedBytes)
+
+	// 5. NewSystemFromSnapshot dispatches the format automatically: the same
+	// strict boot pressd uses maps a v1 table or a v2 hierarchy by version.
+	strict, err := press.NewSystemFromSnapshot(ds.Graph, ds.Trips[:30], hcfg.SPSnapshotPath, press.Config{TSND: 50, NSTD: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer strict.Close()
+	fmt.Printf("strict reopen: kind=%s mapped=%v\n",
+		strict.SPStats().Kind, strict.SPStats().Mapped)
+}

@@ -42,6 +42,26 @@ func DefaultCity() CityOptions {
 	return CityOptions{Rows: 15, Cols: 15, Spacing: 200, PosJitter: 0.2, RemoveEdgeProb: 0.08, Seed: 1}
 }
 
+// Scale returns a copy of the options covering factor× the area: both
+// lattice dimensions grow by √factor, so the edge count grows by roughly
+// factor while spacing, jitter, knockout probability and seed stay fixed.
+// The factor must be a positive perfect square (1, 4, 16, …) so the scaled
+// lattice is exact and deterministic — the spbench scaling race and the
+// memory-regression tests rely on reproducing the same graph from
+// (options, factor) alone.
+func (o CityOptions) Scale(factor int) (CityOptions, error) {
+	if factor <= 0 {
+		return CityOptions{}, fmt.Errorf("gen: scale factor %d must be positive", factor)
+	}
+	side := int(math.Round(math.Sqrt(float64(factor))))
+	if side*side != factor {
+		return CityOptions{}, fmt.Errorf("gen: scale factor %d is not a perfect square", factor)
+	}
+	o.Rows *= side
+	o.Cols *= side
+	return o, nil
+}
+
 // City builds an irregular city network: a perturbed lattice with some links
 // removed, kept strongly connected so every trip is routable.
 func City(opt CityOptions) (*roadnet.Graph, error) {

@@ -66,6 +66,46 @@ func TestCityDeterministic(t *testing.T) {
 	}
 }
 
+func TestCityScale(t *testing.T) {
+	base := CityOptions{Rows: 6, Cols: 6, Spacing: 150, PosJitter: 0.2, RemoveEdgeProb: 0.1, Seed: 5}
+	for _, bad := range []int{0, -4, 2, 3, 8} {
+		if _, err := base.Scale(bad); err == nil {
+			t.Errorf("Scale(%d) accepted", bad)
+		}
+	}
+	g1, err := City(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := g1.NumEdges()
+	for _, factor := range []int{4, 16} {
+		opt, err := base.Scale(factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := City(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Edge count should grow roughly linearly with the factor: lattice
+		// arc count is 2·(r(c−1)+c(r−1)), so exact 4x is not expected, but
+		// a factor-4 step must land well beyond 3x and below 5x.
+		ratio := float64(g.NumEdges()) / float64(prev)
+		if ratio < 3 || ratio > 5 {
+			t.Errorf("scale step to %dx: edge ratio %.2f (edges %d -> %d)", factor, ratio, prev, g.NumEdges())
+		}
+		prev = g.NumEdges()
+		// Deterministic: same options, same graph.
+		again, err := City(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spindex.GraphFingerprint(again) != spindex.GraphFingerprint(g) {
+			t.Errorf("scale %dx not deterministic", factor)
+		}
+	}
+}
+
 func TestTripsAreConnectedPaths(t *testing.T) {
 	g := smallCity(t)
 	trips, err := Trips(g, DefaultTrips(50))

@@ -72,15 +72,18 @@ import (
 	"press/internal/wire"
 )
 
-// SPInfo mirrors the facade's SPStats accounting: how the shortest-path
-// source is resident (mapped snapshot vs Go heap) and how many rows were
-// materialized on the heap. CachedRows == 0 on a snapshot-booted daemon is
-// the "no Dijkstra at startup" invariant, surfaced in /v1/stats.
+// SPInfo mirrors the facade's SPStats accounting (field-for-field, so the
+// facade converts between the two types directly): which shortest-path
+// implementation is active ("table", "snapshot" or "hier"), how it is
+// resident (mapped snapshot vs Go heap) and how many rows were materialized
+// on the heap. CachedRows == 0 on a snapshot-booted daemon is the "no
+// Dijkstra at startup" invariant, surfaced in /v1/stats.
 type SPInfo struct {
-	Mapped      bool `json:"mapped"`
-	CachedRows  int  `json:"cached_rows"`
-	HeapBytes   int  `json:"heap_bytes"`
-	MappedBytes int  `json:"mapped_bytes"`
+	Kind        string `json:"kind"`
+	Mapped      bool   `json:"mapped"`
+	CachedRows  int    `json:"cached_rows"`
+	HeapBytes   int    `json:"heap_bytes"`
+	MappedBytes int    `json:"mapped_bytes"`
 }
 
 // Options tunes the serving behavior.
@@ -836,6 +839,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("press_fleet_index_summary_rejects_total", "Candidates rejected by bounding summary.", inc.SummaryRejects)
 		counter("press_fleet_index_buckets_skipped_total", "Time buckets skipped whole.", inc.BucketsSkipped)
 		counter("press_fleet_index_verifies_total", "Candidates verified with the exact predicate.", inc.Verifies)
+	}
+
+	if s.cfg.SPInfo != nil {
+		sp := s.cfg.SPInfo()
+		fmt.Fprintf(&b, "# HELP press_sp_kind Active shortest-path implementation (value is always 1; the kind label carries the information).\n# TYPE press_sp_kind gauge\npress_sp_kind{kind=%q} 1\n", sp.Kind)
+		gauge("press_sp_heap_bytes", "Shortest-path source bytes resident on the Go heap.", float64(sp.HeapBytes))
+		gauge("press_sp_mapped_bytes", "Shortest-path source bytes served from the read-only snapshot mapping.", float64(sp.MappedBytes))
+		gauge("press_sp_cached_rows", "Shortest-path rows materialized on the heap.", float64(sp.CachedRows))
 	}
 
 	names := make([]string, 0, len(s.metrics))

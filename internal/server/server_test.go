@@ -186,9 +186,11 @@ func ingestFleet(t *testing.T, base string, fxt *fixture) {
 // statsDoc mirrors the /v1/stats document shape.
 type statsDoc struct {
 	SP struct {
-		Mapped      bool `json:"mapped"`
-		CachedRows  int  `json:"cached_rows"`
-		MappedBytes int  `json:"mapped_bytes"`
+		Kind        string `json:"kind"`
+		Mapped      bool   `json:"mapped"`
+		CachedRows  int    `json:"cached_rows"`
+		HeapBytes   int    `json:"heap_bytes"`
+		MappedBytes int    `json:"mapped_bytes"`
 	} `json:"sp"`
 	Sessions struct {
 		Active  int    `json:"active"`
@@ -243,6 +245,9 @@ func TestEndToEndMatchesFacade(t *testing.T) {
 	}
 	if !stats.SP.Mapped || stats.SP.CachedRows != 0 {
 		t.Fatalf("serving did Dijkstra work: %+v", stats.SP)
+	}
+	if stats.SP.Kind != "snapshot" || stats.SP.MappedBytes == 0 {
+		t.Fatalf("sp kind accounting: %+v, want kind snapshot with mapped bytes", stats.SP)
 	}
 	if stats.Sessions.Flushed != uint64(n) || stats.Sessions.Active != 0 {
 		t.Fatalf("sessions: %+v, want %d flushed 0 active", stats.Sessions, n)
@@ -946,6 +951,9 @@ func TestMetricsExposition(t *testing.T) {
 		"press_requests_total{endpoint=\"whereat\"} 2",
 		"press_request_errors_total{endpoint=\"whereat\"} 0",
 		"press_uptime_seconds",
+		"press_sp_kind{kind=\"snapshot\"} 1",
+		"# TYPE press_sp_mapped_bytes gauge",
+		"# TYPE press_sp_heap_bytes gauge",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)

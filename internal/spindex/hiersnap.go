@@ -1,0 +1,434 @@
+package spindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"press/internal/roadnet"
+)
+
+// Hier snapshot: version 2 of the PRSP container. Where version 1 is a flat
+// all-pair row file, version 2 is a section directory — each section one of
+// the hierarchy's flat arrays, individually CRC-protected — so opening is a
+// header-plus-directory read and the payloads are faulted in (and checked)
+// lazily. Layout (little endian):
+//
+//	 0  magic "PRSP"
+//	 4  u32 format version (2)
+//	 8  u64 graph fingerprint (GraphFingerprint of the network)
+//	16  u32 edge count |E|
+//	20  u32 section count
+//	24  u32 crc32(bytes [0, 24))                     — header CRC
+//	28  directory, section count × 24 bytes each:
+//	     u32 type | u64 absolute offset | u64 length | u32 crc32(payload)
+//	28 + 24·k  u32 crc32(directory bytes)            — directory CRC
+//	then the payloads, in directory order
+//
+// OpenHierMapped validates only the header and directory — a cold boot
+// touches two pages regardless of graph size. The payload CRCs and the
+// structural invariants (rank is a permutation, arcs reference valid
+// endpoints, shortcuts reference strictly smaller arc ids so unpacking
+// terminates, CSR offsets are monotone and in range) are verified exactly
+// once, on the first query that needs them; a failure degrades the Hier to
+// exact Dijkstra rows (correct, slower, memory-bounded) and is reported by
+// EnsureValid. Unknown section types are skipped, so the format can grow
+// sections without breaking old readers.
+
+const (
+	hierSnapshotVersion = 2
+	hierDirEntryLen     = 24
+
+	hierSecRank    = 1
+	hierSecArcs    = 2
+	hierSecFwdIdx  = 3
+	hierSecFwdList = 4
+	hierSecBwdIdx  = 5
+	hierSecBwdList = 6
+	hierSecMeta    = 7 // u64 shortcut count
+
+	hierMetaLen = 8
+)
+
+// SnapshotVersion reads the PRSP container version of the file at path
+// without validating anything beyond the magic. Use it to dispatch between
+// OpenMapped (version 1, all-pair rows) and OpenHierMapped (version 2,
+// hierarchy); OpenSnapshotMapped does exactly that.
+func SnapshotVersion(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var buf [8]byte
+	if _, err := io.ReadFull(f, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	if [4]byte{buf[0], buf[1], buf[2], buf[3]} != snapshotMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	return binary.LittleEndian.Uint32(buf[4:8]), nil
+}
+
+// OpenSnapshotMapped maps whichever PRSP format lives at path: version 1
+// yields a *Snapshot (all-pair rows), version 2 a *Hier. Both come back
+// behind the SP interface; type-switch for Close and the memory split.
+func OpenSnapshotMapped(path string, g *roadnet.Graph) (SP, error) {
+	v, err := SnapshotVersion(path)
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case snapshotVersion:
+		return OpenMapped(path, g)
+	case hierSnapshotVersion:
+		return OpenHierMapped(path, g)
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, v)
+	}
+}
+
+// hierSections lists the payloads in fixed write order.
+func (h *Hier) hierSections() []struct {
+	typ     uint32
+	payload []byte
+} {
+	var meta [hierMetaLen]byte
+	binary.LittleEndian.PutUint64(meta[:], uint64(h.shortcuts))
+	return []struct {
+		typ     uint32
+		payload []byte
+	}{
+		{hierSecRank, h.rank},
+		{hierSecArcs, h.arcs},
+		{hierSecFwdIdx, h.fwdIdx},
+		{hierSecFwdList, h.fwdList},
+		{hierSecBwdIdx, h.bwdIdx},
+		{hierSecBwdList, h.bwdList},
+		{hierSecMeta, meta[:]},
+	}
+}
+
+// WriteSnapshot serializes the hierarchy into the version-2 PRSP container.
+// The sections are streamed straight from the flat arrays — no intermediate
+// full-file buffer — so writing a mapped Hier back out is a pure copy. The
+// output is deterministic for a given graph.
+func (h *Hier) WriteSnapshot(w io.Writer) (int64, error) {
+	secs := h.hierSections()
+
+	header := make([]byte, snapHeaderLen+4)
+	copy(header[:4], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[4:8], hierSnapshotVersion)
+	binary.LittleEndian.PutUint64(header[8:16], GraphFingerprint(h.g))
+	binary.LittleEndian.PutUint32(header[16:20], uint32(h.n))
+	binary.LittleEndian.PutUint32(header[20:24], uint32(len(secs)))
+	binary.LittleEndian.PutUint32(header[24:28], crc32.ChecksumIEEE(header[:snapHeaderLen]))
+
+	dir := make([]byte, hierDirEntryLen*len(secs))
+	off := int64(len(header) + len(dir) + 4)
+	for i, s := range secs {
+		e := dir[hierDirEntryLen*i:]
+		binary.LittleEndian.PutUint32(e[0:4], s.typ)
+		binary.LittleEndian.PutUint64(e[4:12], uint64(off))
+		binary.LittleEndian.PutUint64(e[12:20], uint64(len(s.payload)))
+		binary.LittleEndian.PutUint32(e[20:24], crc32.ChecksumIEEE(s.payload))
+		off += int64(len(s.payload))
+	}
+
+	var written int64
+	emit := func(b []byte) error {
+		c, err := w.Write(b)
+		written += int64(c)
+		return err
+	}
+	if err := emit(header); err != nil {
+		return written, err
+	}
+	if err := emit(dir); err != nil {
+		return written, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(dir))
+	if err := emit(crcBuf[:]); err != nil {
+		return written, err
+	}
+	for _, s := range secs {
+		if err := emit(s.payload); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// SaveSnapshot writes the hierarchy snapshot to path atomically (temp file
+// + rename), world-readable like every other PRESS artifact other
+// processes map.
+func (h *Hier) SaveSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".sp-hier-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := h.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// OpenHierMapped maps the version-2 snapshot at path read-only. Only the
+// header and section directory are validated here — magic, version, graph
+// fingerprint, directory CRC, section bounds — so opening cost does not
+// scale with the hierarchy. Payload verification happens on first touch
+// (see EnsureValid). Damage surfaces as ErrBadSnapshot, a snapshot for a
+// different network as ErrSnapshotMismatch.
+func OpenHierMapped(path string, g *roadnet.Graph) (*Hier, error) {
+	return openHierMappedWith(path, g, HierOptions{})
+}
+
+// OpenHierMappedWith is OpenHierMapped with explicit serving options.
+func OpenHierMappedWith(path string, g *roadnet.Graph, opt HierOptions) (*Hier, error) {
+	return openHierMappedWith(path, g, opt)
+}
+
+func openHierMappedWith(path string, g *roadnet.Graph, opt HierOptions) (*Hier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < snapHeaderLen+4 {
+		return nil, fmt.Errorf("%w: file %d bytes, want at least %d", ErrBadSnapshot, size, snapHeaderLen+4)
+	}
+	data, unmap, err := mmapReadOnly(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("spindex: mapping snapshot: %w", err)
+	}
+	h, err := parseHierSnapshot(data, g)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	// Serving is random access; start paging the file in behind the boot.
+	madviseWillNeed(data)
+	h.unmap = unmap
+	h.mappedLen = len(data)
+	h.finish(opt)
+	return h, nil
+}
+
+// parseHierSnapshot validates the header and directory of a version-2
+// snapshot and builds the Hier view over it, deferring payload validation
+// to a first-touch closure. It is the single decoder: OpenHierMapped feeds
+// it the mapping, the snapshot tests and fuzzer feed it raw bytes.
+func parseHierSnapshot(data []byte, g *roadnet.Graph) (*Hier, error) {
+	if len(data) < snapHeaderLen+4 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadSnapshot, len(data))
+	}
+	if [4]byte{data[0], data[1], data[2], data[3]} != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != hierSnapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, v)
+	}
+	if got := binary.LittleEndian.Uint32(data[24:28]); got != crc32.ChecksumIEEE(data[:snapHeaderLen]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrBadSnapshot)
+	}
+	fp := binary.LittleEndian.Uint64(data[8:16])
+	n := int(binary.LittleEndian.Uint32(data[16:20]))
+	nsec := int(binary.LittleEndian.Uint32(data[20:24]))
+	if n != g.NumEdges() {
+		return nil, fmt.Errorf("%w: snapshot has %d edges, graph has %d", ErrSnapshotMismatch, n, g.NumEdges())
+	}
+	if fp != GraphFingerprint(g) {
+		return nil, fmt.Errorf("%w: fingerprint %016x, graph %016x", ErrSnapshotMismatch, fp, GraphFingerprint(g))
+	}
+	const maxSections = 1024
+	if nsec > maxSections {
+		return nil, fmt.Errorf("%w: %d sections", ErrBadSnapshot, nsec)
+	}
+	dirStart := snapHeaderLen + 4
+	dirEnd := dirStart + hierDirEntryLen*nsec
+	if len(data) < dirEnd+4 {
+		return nil, fmt.Errorf("%w: truncated directory", ErrBadSnapshot)
+	}
+	dir := data[dirStart:dirEnd]
+	if got := binary.LittleEndian.Uint32(data[dirEnd:]); got != crc32.ChecksumIEEE(dir) {
+		return nil, fmt.Errorf("%w: directory checksum mismatch", ErrBadSnapshot)
+	}
+
+	type section struct {
+		payload []byte
+		crc     uint32
+	}
+	secs := make(map[uint32]section, nsec)
+	for i := 0; i < nsec; i++ {
+		e := dir[hierDirEntryLen*i:]
+		typ := binary.LittleEndian.Uint32(e[0:4])
+		off := binary.LittleEndian.Uint64(e[4:12])
+		length := binary.LittleEndian.Uint64(e[12:20])
+		crc := binary.LittleEndian.Uint32(e[20:24])
+		if off < uint64(dirEnd+4) || off+length < off || off+length > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: section %d extent [%d,+%d) out of bounds", ErrBadSnapshot, typ, off, length)
+		}
+		if _, dup := secs[typ]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrBadSnapshot, typ)
+		}
+		secs[typ] = section{payload: data[off : off+length], crc: crc}
+	}
+	need := func(typ uint32, wantLen int) (section, error) {
+		s, ok := secs[typ]
+		if !ok {
+			return section{}, fmt.Errorf("%w: missing section %d", ErrBadSnapshot, typ)
+		}
+		if wantLen >= 0 && len(s.payload) != wantLen {
+			return section{}, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrBadSnapshot, typ, len(s.payload), wantLen)
+		}
+		return s, nil
+	}
+	rank, err := need(hierSecRank, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	arcs, err := need(hierSecArcs, -1)
+	if err != nil {
+		return nil, err
+	}
+	if len(arcs.payload)%hierArcBytes != 0 {
+		return nil, fmt.Errorf("%w: arc section is %d bytes, not a multiple of %d", ErrBadSnapshot, len(arcs.payload), hierArcBytes)
+	}
+	fwdIdx, err := need(hierSecFwdIdx, 4*(n+1))
+	if err != nil {
+		return nil, err
+	}
+	fwdList, err := need(hierSecFwdList, -1)
+	if err != nil {
+		return nil, err
+	}
+	bwdIdx, err := need(hierSecBwdIdx, 4*(n+1))
+	if err != nil {
+		return nil, err
+	}
+	bwdList, err := need(hierSecBwdList, -1)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := need(hierSecMeta, hierMetaLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(fwdList.payload)%4 != 0 || len(bwdList.payload)%4 != 0 {
+		return nil, fmt.Errorf("%w: arc list section length not a multiple of 4", ErrBadSnapshot)
+	}
+	numArcs := len(arcs.payload) / hierArcBytes
+	shortcuts := int(binary.LittleEndian.Uint64(meta.payload))
+	if shortcuts < 0 || shortcuts > numArcs {
+		return nil, fmt.Errorf("%w: %d shortcuts with %d arcs", ErrBadSnapshot, shortcuts, numArcs)
+	}
+
+	h := &Hier{
+		g: g, n: n,
+		rank: rank.payload, arcs: arcs.payload,
+		fwdIdx: fwdIdx.payload, fwdList: fwdList.payload,
+		bwdIdx: bwdIdx.payload, bwdList: bwdList.payload,
+		numArcs: numArcs, shortcuts: shortcuts,
+	}
+	all := []section{rank, arcs, fwdIdx, fwdList, bwdIdx, bwdList, meta}
+	payloads := make([][]byte, len(all))
+	crcs := make([]uint32, len(all))
+	for i, s := range all {
+		payloads[i], crcs[i] = s.payload, s.crc
+	}
+	h.payloadCheck = func() error { return h.validatePayloads(payloads, crcs) }
+	return h, nil
+}
+
+// validatePayloads is the first-touch verification of a mapped hierarchy:
+// every section CRC, then the structural invariants the query path relies
+// on to never index out of bounds or loop.
+func (h *Hier) validatePayloads(payloads [][]byte, crcs []uint32) error {
+	for i, payload := range payloads {
+		if crc32.ChecksumIEEE(payload) != crcs[i] {
+			return fmt.Errorf("%w: section checksum mismatch", ErrBadSnapshot)
+		}
+	}
+	n := h.n
+	// rank must be a permutation of [0, n).
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r := binary.LittleEndian.Uint32(h.rank[4*v:])
+		if r >= uint32(n) || seen[r] {
+			return fmt.Errorf("%w: rank section is not a permutation", ErrBadSnapshot)
+		}
+		seen[r] = true
+	}
+	// Arcs: endpoints in range, shortcut constituents strictly smaller
+	// (unpack termination), weights positive and finite.
+	for a := 0; a < h.numArcs; a++ {
+		from, to := h.arcFrom(int32(a)), h.arcTo(int32(a))
+		if from < 0 || int(from) >= n || to < 0 || int(to) >= n || from == to {
+			return fmt.Errorf("%w: arc %d endpoints out of range", ErrBadSnapshot, a)
+		}
+		l, r := h.arcLeft(int32(a)), h.arcRight(int32(a))
+		if (l < 0) != (r < 0) || l >= int32(a) || r >= int32(a) ||
+			l < -1 || r < -1 {
+			return fmt.Errorf("%w: arc %d constituents invalid", ErrBadSnapshot, a)
+		}
+		if w := h.arcWeight(int32(a)); !(w > 0) || math.IsInf(w, 1) {
+			return fmt.Errorf("%w: arc %d weight invalid", ErrBadSnapshot, a)
+		}
+	}
+	// CSR offsets: zero-based, monotone, closed by the list length; every
+	// referenced arc id in range.
+	check := func(idx, list []byte) error {
+		prev := uint32(0)
+		if binary.LittleEndian.Uint32(idx) != 0 {
+			return fmt.Errorf("%w: adjacency index does not start at 0", ErrBadSnapshot)
+		}
+		for v := 0; v <= n; v++ {
+			off := binary.LittleEndian.Uint32(idx[4*v:])
+			if off < prev {
+				return fmt.Errorf("%w: adjacency index not monotone", ErrBadSnapshot)
+			}
+			prev = off
+		}
+		if int(prev) != len(list)/4 {
+			return fmt.Errorf("%w: adjacency index ends at %d, list has %d arcs", ErrBadSnapshot, prev, len(list)/4)
+		}
+		for i := 0; i < len(list); i += 4 {
+			if a := binary.LittleEndian.Uint32(list[i:]); a >= uint32(h.numArcs) {
+				return fmt.Errorf("%w: adjacency references arc %d of %d", ErrBadSnapshot, a, h.numArcs)
+			}
+		}
+		return nil
+	}
+	if err := check(h.fwdIdx, h.fwdList); err != nil {
+		return err
+	}
+	return check(h.bwdIdx, h.bwdList)
+}

@@ -4,19 +4,23 @@ import "press/internal/roadnet"
 
 // SP is the shortest-path source every PRESS component consumes: the §3.1
 // contract (SPend lookups, distances, canonical path reconstruction) without
-// committing to where the all-pair rows live. Two implementations ship:
+// committing to where the all-pair rows live. Three implementations ship:
 //
 //   - *Table keeps rows on the Go heap, computed lazily (or bulk-materialized
 //     by PrecomputeAll*) — the right shape while rows are still being built;
 //   - *Snapshot serves rows from a read-only memory-mapped file written by
 //     Table.WriteSnapshot — the right shape for serving: N processes share
 //     one copy through the page cache and reopening performs no Dijkstra
-//     work.
+//     work;
+//   - *Hier drops the all-pair rows entirely for a contraction hierarchy
+//     over the line graph — O(|E| + shortcuts) memory and bidirectional
+//     upward searches, the right shape once |E|² rows stop fitting anywhere.
 //
-// Both are safe for concurrent use, and both return identical answers for
-// the same graph (the canonical tie-breaking of computeRow is serialized
-// into the snapshot verbatim), so swapping one for the other never changes
-// compression output or query results.
+// All are safe for concurrent use, and all return identical answers for
+// the same graph (Table's canonical tie-breaking is serialized into the
+// snapshot verbatim and reproduced by Hier's unpack-and-resum query; see
+// hier.go for the exact contract), so swapping one for another never
+// changes compression output or query results.
 type SP interface {
 	// SPEnd returns the edge right before dst on the canonical shortest
 	// path from src to dst, or NoEdge when dst is unreachable or src == dst.
@@ -37,8 +41,9 @@ type SP interface {
 	Graph() *roadnet.Graph
 }
 
-// Compile-time checks: both implementations satisfy the contract.
+// Compile-time checks: every implementation satisfies the contract.
 var (
 	_ SP = (*Table)(nil)
 	_ SP = (*Snapshot)(nil)
+	_ SP = (*Hier)(nil)
 )

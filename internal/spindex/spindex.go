@@ -22,7 +22,9 @@
 // implementation. Snapshot (snapshot.go) serves the same rows from a
 // read-only memory-mapped file written by Table.WriteSnapshot, so large
 // networks share one table across processes and reopen without re-running
-// any Dijkstra.
+// any Dijkstra. Hier (hier.go) replaces the all-pair rows with a contraction
+// hierarchy over the same line graph — O(|E| + shortcuts) memory instead of
+// O(|E|²) — while returning answers identical to Table.
 package spindex
 
 import (
@@ -109,7 +111,18 @@ func (q *pq) Pop() interface{} {
 // SP(src, dst) except src itself (so dist[src] = 0 and for adjacent edges
 // dist equals w(dst)); pred[dst] is SPend(src, dst).
 func (t *Table) computeRow(src roadnet.EdgeID) ([]roadnet.EdgeID, []float64) {
-	n := t.g.NumEdges()
+	return dijkstraRow(t.g, src)
+}
+
+// dijkstraRow is the canonical line-graph Dijkstra every implementation
+// defers to: Table materializes rows with it, Hier uses it for the row LRU
+// and as the fallback that guarantees canonical answers. The relaxation
+// order (binary heap keyed by (dist, edge id)) and the tie-break rule
+// (smaller distance, then smaller predecessor id) define the single
+// canonical shortest path per pair; any alternative implementation must
+// reproduce its output bit for bit.
+func dijkstraRow(g *roadnet.Graph, src roadnet.EdgeID) ([]roadnet.EdgeID, []float64) {
+	n := g.NumEdges()
 	dist := make([]float64, n)
 	pred := make([]roadnet.EdgeID, n)
 	done := make([]bool, n)
@@ -125,12 +138,12 @@ func (t *Table) computeRow(src roadnet.EdgeID) ([]roadnet.EdgeID, []float64) {
 			continue
 		}
 		done[it.edge] = true
-		head := t.g.Edge(it.edge).To
-		for _, next := range t.g.Out(head) {
+		head := g.Edge(it.edge).To
+		for _, next := range g.Out(head) {
 			if done[next] {
 				continue
 			}
-			nd := it.dist + t.g.Edge(next).Weight
+			nd := it.dist + g.Edge(next).Weight
 			if nd < dist[next] || (nd == dist[next] && it.edge < pred[next]) {
 				dist[next] = nd
 				pred[next] = it.edge

@@ -161,6 +161,17 @@ type Config struct {
 	// STR index when the store changes. Consulted by NewServer when the
 	// per-server ServerOptions leave the knob false.
 	IncrementalIndex bool
+	// SPMode selects the shortest-path implementation behind the system:
+	// SPModeTable (all-pairs rows on the heap, lazily or precomputed),
+	// SPModeSnapshot (the all-pairs table memory-mapped from
+	// SPSnapshotPath) or SPModeHier (the contraction hierarchy: O(|E| +
+	// shortcuts) memory, answers bit-identical to the table). Empty infers
+	// the pre-SPMode behavior: snapshot when SPSnapshotPath is set, table
+	// otherwise. SPModeHier combines with SPSnapshotPath the same way
+	// SPModeSnapshot does — the file is a regenerable cache of the
+	// hierarchy (PRSP v2), mapped when present and valid, rebuilt and
+	// rewritten on a miss.
+	SPMode SPMode
 	// SPSnapshotPath makes the shortest-path table disk-resident: when the
 	// file exists and matches the graph, NewSystem memory-maps it read-only
 	// (no Dijkstra work on reopen, and N processes share one copy via the
@@ -175,17 +186,55 @@ type Config struct {
 	SPSnapshotPath string
 }
 
+// SPMode names a shortest-path implementation choice for Config.SPMode.
+type SPMode string
+
+// The shortest-path implementations a System can be configured with. All
+// three return bit-identical answers; they trade precompute time and memory
+// differently (see internal/spindex and DESIGN.md "Hierarchical SP").
+const (
+	// SPModeTable serves shortest paths from all-pairs rows on the Go heap,
+	// computed lazily per source or all up front with
+	// PrecomputeShortestPaths.
+	SPModeTable SPMode = "table"
+	// SPModeSnapshot memory-maps a precomputed all-pairs table from
+	// SPSnapshotPath (the v1 snapshot format), regenerating the file on a
+	// cache miss.
+	SPModeSnapshot SPMode = "snapshot"
+	// SPModeHier serves shortest paths from a contraction hierarchy over
+	// the line graph: O(|E| + shortcuts) memory instead of O(|E|²), with
+	// answers bit-identical to the table. With SPSnapshotPath set the
+	// hierarchy is mapped from / cached to the file (PRSP v2).
+	SPModeHier SPMode = "hier"
+)
+
+// resolve returns the effective mode: empty infers snapshot when a snapshot
+// path is configured, table otherwise (the pre-SPMode behavior).
+func (m SPMode) resolve(snapshotPath string) SPMode {
+	if m != "" {
+		return m
+	}
+	if snapshotPath != "" {
+		return SPModeSnapshot
+	}
+	return SPModeTable
+}
+
 // DefaultConfig returns the paper's defaults: θ = 3, zero-error temporal
 // bounds, and the matcher tuned for ~10 m GPS noise.
 func DefaultConfig() Config {
 	return Config{Theta: 3, Matcher: mapmatch.DefaultOptions()}
 }
 
+// spCloser is the releasable face of a mapped SP source; both
+// *spindex.Snapshot and *spindex.Hier satisfy it.
+type spCloser interface{ Close() error }
+
 // System is the assembled PRESS pipeline over one road network.
 type System struct {
 	graph      *roadnet.Graph
 	sp         spindex.SP
-	spSnap     *spindex.Snapshot // non-nil when sp is a mapped snapshot
+	spClose    spCloser // non-nil when sp holds a file mapping to release
 	cb         *core.Codebook
 	compressor *core.Compressor
 	engine     *query.Engine
@@ -201,56 +250,99 @@ func NewSystem(g *Graph, training []Path, cfg Config) (*System, error) {
 		return nil, errors.New("press: nil graph")
 	}
 	var (
-		sp   spindex.SP
-		snap *spindex.Snapshot
+		sp     spindex.SP
+		closer spCloser
 	)
-	if cfg.SPSnapshotPath != "" {
-		// The snapshot is a derived cache of the graph: a stale entry —
-		// missing file, truncation/corruption, fingerprint mismatch after a
-		// network update, or a partial snapshot when the full table was
-		// requested — falls through to recomputing and rewriting it. Any
-		// other failure (permissions, I/O) is real and must not be papered
-		// over with an expensive silent precompute every boot.
-		s, err := spindex.OpenMapped(cfg.SPSnapshotPath, g)
-		switch {
-		case err == nil && cfg.PrecomputeShortestPaths && s.Rows() < g.NumEdges():
-			s.Close()
-		case err == nil:
-			sp, snap = s, s
-		case errors.Is(err, os.ErrNotExist),
-			errors.Is(err, spindex.ErrBadSnapshot),
-			errors.Is(err, spindex.ErrSnapshotMismatch):
-			// cache miss: regenerate below
-		default:
-			return nil, fmt.Errorf("press: opening SP snapshot: %w", err)
-		}
-	}
-	if sp == nil {
-		tab := spindex.NewTable(g)
-		if cfg.PrecomputeShortestPaths || cfg.SPSnapshotPath != "" {
-			if cfg.PrecomputeWorkers > 0 {
-				tab.PrecomputeAllParallel(cfg.PrecomputeWorkers)
-			} else {
-				tab.PrecomputeAll()
-			}
-		}
+	switch mode := cfg.SPMode.resolve(cfg.SPSnapshotPath); mode {
+	case SPModeHier:
+		// Same cache contract as the table snapshot below, for the PRSP v2
+		// hierarchy format: a stale entry falls through to rebuilding the
+		// hierarchy and rewriting the file; non-miss open failures are real.
+		// EnsureValid forces the deferred payload validation here — a system
+		// built through NewSystem wants the rebuild-on-corruption behavior,
+		// not the serve-degraded behavior of NewSystemFromSnapshot.
 		if cfg.SPSnapshotPath != "" {
-			if err := tab.SaveSnapshot(cfg.SPSnapshotPath); err != nil {
-				return nil, fmt.Errorf("press: saving SP snapshot: %w", err)
+			h, err := spindex.OpenHierMapped(cfg.SPSnapshotPath, g)
+			if err == nil {
+				if verr := h.EnsureValid(); verr != nil {
+					h.Close()
+					err = verr
+				} else {
+					sp, closer = h, h
+				}
+			}
+			if err != nil && !isSnapshotCacheMiss(err) {
+				return nil, fmt.Errorf("press: opening SP snapshot: %w", err)
 			}
 		}
-		sp = tab
+		if sp == nil {
+			h := spindex.NewHier(g)
+			if cfg.SPSnapshotPath != "" {
+				if err := h.SaveSnapshot(cfg.SPSnapshotPath); err != nil {
+					return nil, fmt.Errorf("press: saving SP snapshot: %w", err)
+				}
+			}
+			sp = h
+		}
+	case SPModeTable, SPModeSnapshot:
+		if mode == SPModeSnapshot && cfg.SPSnapshotPath != "" {
+			// The snapshot is a derived cache of the graph: a stale entry —
+			// missing file, truncation/corruption, fingerprint mismatch after
+			// a network update, or a partial snapshot when the full table was
+			// requested — falls through to recomputing and rewriting it. Any
+			// other failure (permissions, I/O) is real and must not be
+			// papered over with an expensive silent precompute every boot.
+			s, err := spindex.OpenMapped(cfg.SPSnapshotPath, g)
+			switch {
+			case err == nil && cfg.PrecomputeShortestPaths && s.Rows() < g.NumEdges():
+				s.Close()
+			case err == nil:
+				sp, closer = s, s
+			case isSnapshotCacheMiss(err):
+				// cache miss: regenerate below
+			default:
+				return nil, fmt.Errorf("press: opening SP snapshot: %w", err)
+			}
+		}
+		if sp == nil {
+			tab := spindex.NewTable(g)
+			if cfg.PrecomputeShortestPaths || cfg.SPSnapshotPath != "" {
+				if cfg.PrecomputeWorkers > 0 {
+					tab.PrecomputeAllParallel(cfg.PrecomputeWorkers)
+				} else {
+					tab.PrecomputeAll()
+				}
+			}
+			if cfg.SPSnapshotPath != "" {
+				if err := tab.SaveSnapshot(cfg.SPSnapshotPath); err != nil {
+					return nil, fmt.Errorf("press: saving SP snapshot: %w", err)
+				}
+			}
+			sp = tab
+		}
+	default:
+		return nil, fmt.Errorf("press: unknown SPMode %q", cfg.SPMode)
 	}
-	sys, err := assembleSystem(g, sp, snap, training, cfg)
-	if err != nil && snap != nil {
-		snap.Close()
+	sys, err := assembleSystem(g, sp, closer, training, cfg)
+	if err != nil && closer != nil {
+		closer.Close()
 	}
 	return sys, err
 }
 
+// isSnapshotCacheMiss reports whether an SP snapshot open failure means the
+// file is a regenerable stale cache entry (absent, damaged, or for another
+// graph) rather than a real I/O or permission problem.
+func isSnapshotCacheMiss(err error) bool {
+	return errors.Is(err, os.ErrNotExist) ||
+		errors.Is(err, spindex.ErrBadSnapshot) ||
+		errors.Is(err, spindex.ErrSnapshotMismatch)
+}
+
 // assembleSystem builds the trained pipeline components over an SP source of
-// either implementation.
-func assembleSystem(g *Graph, sp spindex.SP, snap *spindex.Snapshot, training []Path, cfg Config) (*System, error) {
+// any implementation; closer, when non-nil, is the mapping to release on
+// System.Close.
+func assembleSystem(g *Graph, sp spindex.SP, closer spCloser, training []Path, cfg Config) (*System, error) {
 	if cfg.Theta <= 0 {
 		cfg.Theta = 3
 	}
@@ -278,75 +370,92 @@ func assembleSystem(g *Graph, sp spindex.SP, snap *spindex.Snapshot, training []
 		return nil, err
 	}
 	return &System{
-		graph: g, sp: sp, spSnap: snap, cb: cb,
+		graph: g, sp: sp, spClose: closer, cb: cb,
 		compressor: compressor, engine: engine, matcher: matcher, cfg: cfg,
 	}, nil
 }
 
 // NewSystemFromSnapshot assembles a System whose shortest-path source is the
-// snapshot file at path, memory-mapped read-only: construction performs no
-// Dijkstra work for any row present in the snapshot, and N processes built
-// over the same file share one physical copy of the table via the page
-// cache. Unlike NewSystem with Config.SPSnapshotPath (which treats the
-// snapshot as a regenerable cache), a missing or mismatched snapshot is an
-// error here. Close the returned System to release the mapping.
+// snapshot file at path, memory-mapped read-only. The format version is
+// dispatched automatically: a v1 file maps the all-pairs table, a v2 file
+// maps the contraction hierarchy. In both cases construction performs no
+// Dijkstra work (a v2 open validates only the header and section directory —
+// payload checksums are deferred to first use, and a damaged payload
+// degrades that hierarchy to exact per-row recomputation instead of failing
+// the boot), and N processes built over the same file share one physical
+// copy via the page cache. Unlike NewSystem with Config.SPSnapshotPath
+// (which treats the snapshot as a regenerable cache), a missing or
+// mismatched snapshot is an error here. Close the returned System to
+// release the mapping.
 func NewSystemFromSnapshot(g *Graph, training []Path, path string, cfg Config) (*System, error) {
 	if g == nil {
 		return nil, errors.New("press: nil graph")
 	}
-	snap, err := spindex.OpenMapped(path, g)
+	sp, err := spindex.OpenSnapshotMapped(path, g)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := assembleSystem(g, snap, snap, training, cfg)
+	closer := sp.(spCloser) // both snapshot implementations are closeable
+	sys, err := assembleSystem(g, sp, closer, training, cfg)
 	if err != nil {
-		snap.Close()
+		closer.Close()
 		return nil, err
 	}
 	return sys, nil
 }
 
-// SaveSPSnapshot serializes the system's shortest-path table to path in the
-// versioned snapshot format (every currently materialized row; combine with
-// Config.PrecomputeShortestPaths for a full table). It fails when the
-// system's SP source already is a mapped snapshot — the file it was opened
-// from is the snapshot.
+// SaveSPSnapshot serializes the system's shortest-path source to path in its
+// versioned snapshot format: a heap table writes the v1 all-pairs layout
+// (every currently materialized row; combine with
+// Config.PrecomputeShortestPaths for a full table), a heap hierarchy writes
+// the PRSP v2 layout. It fails when the system's SP source already is a
+// mapped snapshot — the file it was opened from is the snapshot.
 func (s *System) SaveSPSnapshot(path string) error {
-	tab, ok := s.sp.(*spindex.Table)
-	if !ok {
+	switch sp := s.sp.(type) {
+	case *spindex.Table:
+		return sp.SaveSnapshot(path)
+	case *spindex.Hier:
+		if sp.Mapped() {
+			return errors.New("press: SP source is already a mapped snapshot")
+		}
+		return sp.SaveSnapshot(path)
+	default:
 		return errors.New("press: SP source is already a mapped snapshot")
 	}
-	return tab.SaveSnapshot(path)
 }
 
 // Close releases resources the system holds — today, the shortest-path
 // snapshot mapping when the system was built over one. Systems with a heap
-// SP table need no Close; calling it anyway is a no-op.
+// SP source need no Close; calling it anyway is a no-op.
 func (s *System) Close() error {
-	if s.spSnap != nil {
-		return s.spSnap.Close()
+	if s.spClose != nil {
+		return s.spClose.Close()
 	}
 	return nil
 }
 
 // SPStats describes the system's shortest-path source for capacity
-// accounting: heap bytes vs file-backed mapped bytes, and how many rows are
-// materialized on the heap (for a mapped system, fallback rows computed for
-// sources absent from the snapshot — 0 when the snapshot is full).
+// accounting: which implementation is active, heap bytes vs file-backed
+// mapped bytes, and how many rows are materialized on the heap (for a
+// mapped table, fallback rows computed for sources absent from the
+// snapshot; for a hierarchy, the expanded-row LRU).
 type SPStats struct {
-	Mapped      bool // SP source is a memory-mapped snapshot
-	CachedRows  int  // rows materialized on the Go heap
-	HeapBytes   int  // estimated heap bytes of those rows
-	MappedBytes int  // bytes served from the read-only mapping
+	Kind        string // active implementation: "table", "snapshot" or "hier"
+	Mapped      bool   // SP source is a memory-mapped snapshot
+	CachedRows  int    // rows materialized on the Go heap
+	HeapBytes   int    // estimated heap bytes of those rows
+	MappedBytes int    // bytes served from the read-only mapping
 }
 
 // SPStats reports the current shortest-path source accounting.
 func (s *System) SPStats() SPStats {
 	switch sp := s.sp.(type) {
 	case *spindex.Snapshot:
-		return SPStats{Mapped: true, CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes(), MappedBytes: sp.MappedBytes()}
+		return SPStats{Kind: string(SPModeSnapshot), Mapped: true, CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes(), MappedBytes: sp.MappedBytes()}
 	case *spindex.Table:
-		return SPStats{CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes()}
+		return SPStats{Kind: string(SPModeTable), CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes()}
+	case *spindex.Hier:
+		return SPStats{Kind: string(SPModeHier), Mapped: sp.Mapped(), CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes(), MappedBytes: sp.MappedBytes()}
 	default:
 		return SPStats{}
 	}

@@ -33,27 +33,35 @@ for _ in $(seq 1 150); do
 done
 [ -n "$up" ] || { echo "pressd never became healthy:"; cat "$tmp/pressd.log"; exit 1; }
 
+# Buffer every response fully before grepping: grep -q exiting on a
+# mid-body match would otherwise SIGPIPE curl and fail the pipeline under
+# pipefail (curl exit 23).
 curl -fs "$BASE/healthz" | grep -q '"status":"ok"'
 
 # One ingest + query round-trip: a single-edge trip for vehicle 7.
-curl -fs -X POST "$BASE/v1/ingest/7" -H 'Content-Type: application/json' \
-    -d '{"points":[{"edge":0,"sample":{"d":0,"t":0}},{"sample":{"d":120,"t":60}}],"flush":true}' \
-    | grep -q '"accepted":2'
+body="$(curl -fs -X POST "$BASE/v1/ingest/7" -H 'Content-Type: application/json' \
+    -d '{"points":[{"edge":0,"sample":{"d":0,"t":0}},{"sample":{"d":120,"t":60}}],"flush":true}')"
+echo "$body" | grep -q '"accepted":2'
 curl -fs "$BASE/v1/whereat?id=7&t=30" | grep -q '"x"'
 
-# Snapshot-boot invariant: serving must have done zero Dijkstra work.
-curl -fs "$BASE/v1/stats" | grep -q '"mapped":true'
-curl -fs "$BASE/v1/stats" | grep -q '"cached_rows":0'
+# Snapshot-boot invariant: serving must have done zero Dijkstra work, and
+# /v1/stats must name the active SP implementation.
+stats="$(curl -fs "$BASE/v1/stats")"
+echo "$stats" | grep -q '"kind":"snapshot"'
+echo "$stats" | grep -q '"mapped":true'
+echo "$stats" | grep -q '"cached_rows":0'
 
 # Warm query path: repeating the same whereat must be served from the
 # decoded-record cache and show up as a hit in /v1/stats.
 curl -fs "$BASE/v1/whereat?id=7&t=30" >/dev/null
-curl -fs "$BASE/v1/stats" | grep -q '"cache_enabled":true'
-curl -fs "$BASE/v1/stats" | grep -q '"hits":[1-9]'
+stats="$(curl -fs "$BASE/v1/stats")"
+echo "$stats" | grep -q '"cache_enabled":true'
+echo "$stats" | grep -q '"hits":[1-9]'
 
 # Prometheus exposition mirrors the same counters.
-curl -fs "$BASE/metrics" | grep -q '^# TYPE press_query_cache_hits_total counter'
-curl -fs "$BASE/metrics" | grep -q '^press_store_records 1'
+metrics="$(curl -fs "$BASE/metrics")"
+echo "$metrics" | grep -q '^# TYPE press_query_cache_hits_total counter'
+echo "$metrics" | grep -q '^press_store_records 1'
 
 # Graceful drain: SIGTERM must produce a clean exit 0.
 kill -TERM "$pid"
@@ -62,4 +70,37 @@ if ! wait "$pid"; then
 fi
 pid=""
 grep -q "clean exit" "$tmp/pressd.log"
+
+# Second phase: the same daemon over the contraction-hierarchy snapshot.
+# -init must rematerialize (the v1 table snapshot on disk is the wrong kind
+# for -spmode hier), the boot must map the v2 file, and /v1/stats and
+# /metrics must report the hier kind with its heap/mapped byte split.
+"$tmp/pressd" -net "$tmp/data/network.txt" -train "$tmp/data/trips.txt" \
+    -snapshot "$tmp/sp.snap" -init -spmode hier -store "$tmp/fleet" \
+    -addr "127.0.0.1:${PORT}" >"$tmp/pressd-hier.log" 2>&1 &
+pid=$!
+up=""
+for _ in $(seq 1 150); do
+    if curl -fs "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$pid" 2>/dev/null || { echo "pressd (hier) died during boot:"; cat "$tmp/pressd-hier.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "pressd (hier) never became healthy:"; cat "$tmp/pressd-hier.log"; exit 1; }
+grep -q "rematerializing" "$tmp/pressd-hier.log"
+
+stats="$(curl -fs "$BASE/v1/stats")"
+echo "$stats" | grep -q '"kind":"hier"'
+echo "$stats" | grep -q '"mapped":true'
+curl -fs "$BASE/v1/whereat?id=7&t=30" | grep -q '"x"'
+metrics="$(curl -fs "$BASE/metrics")"
+echo "$metrics" | grep -q '^press_sp_kind{kind="hier"} 1'
+echo "$metrics" | grep -q '^# TYPE press_sp_mapped_bytes gauge'
+echo "$metrics" | grep -q '^# TYPE press_sp_heap_bytes gauge'
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "pressd (hier) did not exit cleanly:"; cat "$tmp/pressd-hier.log"; exit 1
+fi
+pid=""
+grep -q "clean exit" "$tmp/pressd-hier.log"
 echo "pressd smoke OK"
