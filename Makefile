@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench spbench spbenchsmoke serverbench querybench serve smoke fuzz allocgate ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench spbenchsmoke spbuild spbuildsmoke serverbench querybench serve smoke fuzz allocgate ci
 
 all: ci
 
@@ -43,6 +43,17 @@ spbench:
 spbenchsmoke:
 	$(GO) run ./cmd/pressbench -fig spbench -trips 40 -spscale 1
 
+# Parallel contraction build + warmed query path: per-worker build times with
+# byte-identity asserted against the sequential build at every scale, then
+# the hot (unpack cache + pooled context) vs cold query throughput gate.
+spbuild:
+	$(GO) run ./cmd/pressbench -fig spbuild
+
+# The same scenario capped at the 1x network: cheap enough for every CI run,
+# still asserting snapshot byte-identity across 1/2/4/8 build workers.
+spbuildsmoke:
+	$(GO) run ./cmd/pressbench -fig spbuild -trips 40 -spscale 1
+
 # The pressd HTTP serving scenario: JSON vs binary-wire ingest points/s,
 # then whereat requests/s at 1/2/4/8 concurrent clients over loopback.
 serverbench:
@@ -74,6 +85,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzStoreRoundtrip -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -fuzz=FuzzSnapshotOpen -fuzztime=$(FUZZTIME) ./internal/spindex
 	$(GO) test -fuzz=FuzzHierVsTable -fuzztime=$(FUZZTIME) ./internal/spindex
+	$(GO) test -fuzz=FuzzHierBuildDeterminism -fuzztime=$(FUZZTIME) ./internal/spindex
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Allocation-regression gate: the binary wire frame decode must stay at
@@ -81,4 +93,4 @@ fuzz:
 allocgate:
 	./scripts/allocgate.sh
 
-ci: build vet race benchsmoke fuzz allocgate spbenchsmoke smoke
+ci: build vet race benchsmoke fuzz allocgate spbenchsmoke spbuildsmoke smoke

@@ -86,8 +86,8 @@ func main() {
 	// so runs of just those skip the O(|E|^2) cost.
 	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") ||
 		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench") ||
-		strings.EqualFold(*fig, "spbench") || strings.EqualFold(*fig, "serverbench") ||
-		strings.EqualFold(*fig, "querybench")) {
+		strings.EqualFold(*fig, "spbench") || strings.EqualFold(*fig, "spbuild") ||
+		strings.EqualFold(*fig, "serverbench") || strings.EqualFold(*fig, "querybench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -182,6 +182,9 @@ func main() {
 		{"spbench", func() error {
 			return runSPBenchScenario(env, *workers, *spscale)
 		}},
+		{"spbuild", func() error {
+			return runSPBuildScenario(*spscale)
+		}},
 		{"serverbench", func() error {
 			return runServerBenchScenario(env, *workers)
 		}},
@@ -211,7 +214,7 @@ func main() {
 var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
-	"storebench", "streambench", "spbench", "serverbench", "querybench",
+	"storebench", "streambench", "spbench", "spbuild", "serverbench", "querybench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -595,6 +598,156 @@ func runSPBenchScenario(env *experiments.Env, workers, spscale int) error {
 		}
 	}
 	fmt.Println()
+	return nil
+}
+
+// runSPBuildScenario exercises the PR 9 tentpole: the batched parallel
+// contraction build and the CH hot-query path.
+//
+// Phase 1 (build-parallelism axis): at each network scale it builds the
+// hierarchy at 1/2/4/8 workers, asserts every PRSP v2 serialization is
+// byte-identical to the sequential build's — determinism is a hard gate at
+// any core count — and reports wall-clock per worker count. The >= 2x
+// speedup gate at workers=4 only arms on hardware with >= 4 CPUs; a 1-core
+// CI box instead asserts identity plus no pathological slowdown from the
+// round structure itself.
+//
+// Phase 2 (hot vs cold queries): the cold column is PR 8's query shape — a
+// fresh hierarchy with the unpack cache disabled, every probe paying the
+// full bidirectional search and recursive shortcut unpacking. The hot
+// column repeats a skewed source set against a warmed default hierarchy:
+// repeated sources cross the row-expansion threshold and the unpack cache
+// absorbs the recursion, so steady state is array lookups at 0 allocs/op
+// (the alloc half is gated by scripts/allocgate.sh; the >= 2x throughput
+// gate is enforced here).
+func runSPBuildScenario(spscale int) error {
+	var scales []int
+	for _, s := range []int{1, 4, 16} {
+		if s <= spscale {
+			scales = append(scales, s)
+		}
+	}
+	if len(scales) == 0 {
+		return fmt.Errorf("spbuild: -spscale %d admits no scale from {1, 4, 16}", spscale)
+	}
+	workerAxis := []int{1, 2, 4, 8}
+
+	fmt.Println("spbuild: batched parallel contraction — build time by worker count")
+	fmt.Printf("%6s %8s %10s", "scale", "edges", "shortcuts")
+	for _, w := range workerAxis {
+		fmt.Printf(" %10s", fmt.Sprintf("w=%d", w))
+	}
+	fmt.Printf(" %8s\n", "w4-spdup")
+
+	type hotGraph struct {
+		g     *roadnet.Graph
+		scale int
+	}
+	var last hotGraph
+	for _, scale := range scales {
+		opt, err := gen.DefaultCity().Scale(scale)
+		if err != nil {
+			return err
+		}
+		sg, err := gen.City(opt)
+		if err != nil {
+			return err
+		}
+		last = hotGraph{g: sg, scale: scale}
+
+		var ref []byte
+		var seqBuild time.Duration
+		times := make([]time.Duration, len(workerAxis))
+		shortcuts := 0
+		for i, w := range workerAxis {
+			t0 := time.Now()
+			h := spindex.NewHierWith(sg, spindex.HierOptions{BuildWorkers: w})
+			times[i] = time.Since(t0)
+			shortcuts = h.ShortcutCount()
+			var buf bytes.Buffer
+			if _, err := h.WriteSnapshot(&buf); err != nil {
+				return err
+			}
+			if w == 1 {
+				ref, seqBuild = buf.Bytes(), times[i]
+				continue
+			}
+			if !bytes.Equal(ref, buf.Bytes()) {
+				return fmt.Errorf("spbuild: scale %dx: workers=%d snapshot differs from the sequential build (%d vs %d bytes)",
+					scale, w, buf.Len(), len(ref))
+			}
+		}
+		w4 := times[2]
+		speedup4 := float64(seqBuild) / float64(w4)
+		fmt.Printf("%5dx %8d %10d", scale, sg.NumEdges(), shortcuts)
+		for _, d := range times {
+			fmt.Printf(" %10v", d.Round(time.Millisecond))
+		}
+		fmt.Printf(" %7.2fx\n", speedup4)
+
+		if runtime.NumCPU() >= 4 {
+			if speedup4 < 2 {
+				return fmt.Errorf("spbuild: scale %dx: workers=4 build speedup %.2fx on %d CPUs, want >= 2x",
+					scale, speedup4, runtime.NumCPU())
+			}
+		} else if float64(w4) > 2.5*float64(seqBuild) {
+			// Single-core boxes cannot speed up, but the round/batch
+			// structure must not cost multiples of the sequential build.
+			return fmt.Errorf("spbuild: scale %dx: workers=4 build took %v vs sequential %v on %d CPU(s)",
+				scale, w4, seqBuild, runtime.NumCPU())
+		}
+	}
+
+	// Phase 2 on the largest graph built above.
+	sg := last.g
+	n := sg.NumEdges()
+	const (
+		hotSources = 8
+		probes     = 120_000
+	)
+	probe := func(h *spindex.Hier, srcOf func(i int) roadnet.EdgeID) float64 {
+		rng := rand.New(rand.NewSource(99))
+		t0 := time.Now()
+		var sink float64
+		for i := 0; i < probes; i++ {
+			a := srcOf(i)
+			b := roadnet.EdgeID(rng.Intn(n))
+			sink += h.Dist(a, b)
+			sink += h.GapDist(a, b)
+		}
+		_ = sink
+		return float64(probes) / time.Since(t0).Seconds()
+	}
+
+	cold := spindex.NewHierWith(sg, spindex.HierOptions{UnpackCacheEntries: -1})
+	rngSrc := rand.New(rand.NewSource(5))
+	coldSrcs := make([]roadnet.EdgeID, probes)
+	for i := range coldSrcs {
+		coldSrcs[i] = roadnet.EdgeID(rngSrc.Intn(n))
+	}
+	coldRate := probe(cold, func(i int) roadnet.EdgeID { return coldSrcs[i] })
+
+	hot := spindex.NewHierWith(sg, spindex.HierOptions{})
+	srcs := make([]roadnet.EdgeID, hotSources)
+	for i := range srcs {
+		srcs[i] = roadnet.EdgeID((i * 37) % n)
+		// Three SPEnd touches per source cross the row-expansion threshold,
+		// so the hot set is served from exact rows.
+		for k := 0; k < 3; k++ {
+			hot.SPEnd(srcs[i], roadnet.EdgeID((i+k+1)%n))
+		}
+	}
+	hotRate := probe(hot, func(i int) roadnet.EdgeID { return srcs[i%hotSources] })
+	ratio := hotRate / coldRate
+
+	fmt.Println("\nspbuild: hot (warmed rows + unpack cache) vs cold (PR 8 shape) query throughput")
+	fmt.Printf("%-28s %14s\n", "path", "queries/s")
+	fmt.Printf("%-28s %14.0f   (no caches, fresh searches)\n", "cold: bidirectional CH", coldRate)
+	fmt.Printf("%-28s %14.0f   (%d skewed sources)\n", "hot: rows + unpack cache", hotRate, hotSources)
+	fmt.Printf("hot/cold ratio: %.2fx\n\n", ratio)
+	if ratio < 2 {
+		return fmt.Errorf("spbuild: hot query throughput %.2fx of cold at scale %dx, want >= 2x", ratio, last.scale)
+	}
 	return nil
 }
 

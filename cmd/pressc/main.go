@@ -60,6 +60,7 @@ type common struct {
 	net, gps, train string
 	snapshot        string
 	spmode          string
+	spworkers       int
 	theta           int
 	tsnd, nstd      float64
 }
@@ -73,6 +74,8 @@ func commonFlags(fs *flag.FlagSet) *common {
 		"SP snapshot path: mmap it when valid, else build once and save it there (cache semantics)")
 	fs.StringVar(&c.spmode, "spmode", "",
 		"shortest-path implementation: table, snapshot or hier (empty = snapshot when -snapshot is set, else table)")
+	fs.IntVar(&c.spworkers, "spworkers", 0,
+		"goroutines for the hier contraction build (0 = GOMAXPROCS; output is identical at any count)")
 	fs.IntVar(&c.theta, "theta", 3, "max mined sub-trajectory length")
 	fs.Float64Var(&c.tsnd, "tsnd", 0, "TSND bound (m)")
 	fs.Float64Var(&c.nstd, "nstd", 0, "NSTD bound (s)")
@@ -87,6 +90,7 @@ func buildSystem(c *common) (*press.System, *roadnet.Graph) {
 	cfg.TSND, cfg.NSTD = c.tsnd, c.nstd
 	cfg.SPSnapshotPath = c.snapshot
 	cfg.SPMode = press.SPMode(c.spmode)
+	cfg.SPBuildWorkers = c.spworkers
 	sys, err := press.NewSystem(g, training, cfg)
 	if err != nil {
 		fatal(err)

@@ -5,7 +5,7 @@
 // enabling.
 //
 //	pressd -net network.txt -train trips.txt -snapshot sp.snap -store fleet/ \
-//	       [-init] [-spmode table|hier] [-addr :8321] [-shards 4] [-theta 3] \
+//	       [-init] [-spmode table|hier] [-spworkers N] [-addr :8321] [-shards 4] [-theta 3] \
 //	       [-tsnd 0] [-nstd 0] [-idle-flush 30s] [-max-session-bytes 1048576] \
 //	       [-max-concurrent 0] [-max-frame-bytes 1048576] [-drain-timeout 30s]
 //
@@ -60,6 +60,7 @@ func main() {
 		train    = flag.String("train", "data/trips.txt", "training paths file")
 		snapshot = flag.String("snapshot", "sp.snap", "SP snapshot file to boot from")
 		spmode   = flag.String("spmode", "table", "SP implementation -init materializes: table (all-pairs, v1) or hier (contraction hierarchy, v2)")
+		spwork   = flag.Int("spworkers", 0, "goroutines for the hier contraction build (0 = GOMAXPROCS; output is identical at any count)")
 		init_    = flag.Bool("init", false, "materialize the snapshot if missing/stale, then boot from it")
 		storeDir = flag.String("store", "fleet", "sharded fleet store directory")
 		shards   = flag.Int("shards", 4, "shard count when creating a new store")
@@ -104,7 +105,7 @@ func main() {
 		if v, verr := spindex.SnapshotVersion(*snapshot); verr == nil && v != wantVersion {
 			fmt.Fprintf(os.Stderr, "pressd: snapshot %s is v%d, -spmode %s wants v%d; rematerializing\n",
 				*snapshot, v, *spmode, wantVersion)
-			materializeSnapshot(g, *snapshot, *spmode)
+			materializeSnapshot(g, *snapshot, *spmode, *spwork)
 		}
 	}
 	sys, err := press.NewSystemFromSnapshot(g, training, *snapshot, cfg)
@@ -113,7 +114,7 @@ func main() {
 		// no codebook training, which the strict boot below does exactly
 		// once — then retry the same serving path every later boot takes.
 		fmt.Fprintf(os.Stderr, "pressd: materializing SP snapshot at %s...\n", *snapshot)
-		materializeSnapshot(g, *snapshot, *spmode)
+		materializeSnapshot(g, *snapshot, *spmode, *spwork)
 		sys, err = press.NewSystemFromSnapshot(g, training, *snapshot, cfg)
 	}
 	if err != nil {
@@ -176,10 +177,11 @@ func main() {
 // materializeSnapshot builds the requested shortest-path structure and saves
 // it at path: the parallel all-pair precompute for table mode (the only
 // path that ever runs it), the contraction hierarchy for hier mode.
-func materializeSnapshot(g *roadnet.Graph, path, mode string) {
+func materializeSnapshot(g *roadnet.Graph, path, mode string, workers int) {
 	switch mode {
 	case "hier":
-		if err := spindex.NewHier(g).SaveSnapshot(path); err != nil {
+		h := spindex.NewHierWith(g, spindex.HierOptions{BuildWorkers: workers})
+		if err := h.SaveSnapshot(path); err != nil {
 			fatal(err)
 		}
 	default:

@@ -53,6 +53,9 @@ func main() {
 	hcfg := press.DefaultConfig()
 	hcfg.TSND, hcfg.NSTD = 50, 30
 	hcfg.SPMode = press.SPModeHier
+	// The batched contraction build parallelizes across SPBuildWorkers and
+	// stays byte-identical at every worker count (0 = GOMAXPROCS).
+	hcfg.SPBuildWorkers = 4
 	hcfg.SPSnapshotPath = filepath.Join(dir, "sp.hier")
 	t0 = time.Now()
 	hier, err := press.NewSystem(ds.Graph, ds.Trips[:30], hcfg)

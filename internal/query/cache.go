@@ -35,6 +35,91 @@ type Cache struct {
 	hits, misses       atomic.Uint64 // decoded-record lookups
 	sumHits, sumMisses atomic.Uint64 // memoized-summary lookups
 	evictions          atomic.Uint64
+
+	// Result memo: point answers for identical whereat/whenat requests.
+	// Keys embed the record revision, so stale entries can never hit —
+	// they age out of the LRU instead of needing invalidation.
+	resMu    sync.Mutex
+	resLL    *list.List // of resultKey, front = most recently used
+	resItems map[resultKey]*resultEntry
+
+	resHits, resMisses atomic.Uint64
+}
+
+// resultKind distinguishes the memoized point-query families.
+type resultKind uint8
+
+const (
+	resultWhereAt resultKind = 1
+	resultWhenAt  resultKind = 2
+)
+
+// resultKey identifies one memoized answer: the query family, the vehicle,
+// the exact revision the answer was computed from, and the (exact-match)
+// query arguments. whenat uses both float slots (x, y); whereat uses a.
+type resultKey struct {
+	id   uint64
+	rev  uint64
+	kind resultKind
+	a, b float64
+}
+
+// resultEntry holds one memoized answer: whereat stores the point in
+// (x, y); whenat stores the time in x. Query errors memoize too —
+// recomputing them would fail identically at the same revision.
+type resultEntry struct {
+	x, y float64
+	err  error
+	elem *list.Element
+}
+
+// resultMemoEntries bounds the result memo. Entries are ~100 bytes, so the
+// memo tops out around 400 KiB — small next to the decoded-record budget it
+// shares a Cache with, decisive on repeat-heavy dashboards polling the same
+// vehicles at the same timestamps.
+const resultMemoEntries = 4096
+
+// getResult returns the memoized answer for k, refreshing its LRU slot.
+func (c *Cache) getResult(k resultKey) (x, y float64, err error, ok bool) {
+	if c == nil {
+		return 0, 0, nil, false
+	}
+	c.resMu.Lock()
+	e := c.resItems[k]
+	if e == nil {
+		c.resMu.Unlock()
+		c.resMisses.Add(1)
+		return 0, 0, nil, false
+	}
+	c.resLL.MoveToFront(e.elem)
+	c.resMu.Unlock()
+	c.resHits.Add(1)
+	return e.x, e.y, e.err, true
+}
+
+// putResult memoizes an answer.
+func (c *Cache) putResult(k resultKey, x, y float64, err error) {
+	if c == nil {
+		return
+	}
+	c.resMu.Lock()
+	defer c.resMu.Unlock()
+	if c.resItems == nil {
+		c.resLL = list.New()
+		c.resItems = make(map[resultKey]*resultEntry)
+	}
+	if c.resItems[k] != nil {
+		return
+	}
+	e := &resultEntry{x: x, y: y, err: err}
+	e.elem = c.resLL.PushFront(k)
+	c.resItems[k] = e
+	for len(c.resItems) > resultMemoEntries {
+		back := c.resLL.Back()
+		evicted := back.Value.(resultKey)
+		c.resLL.Remove(back)
+		delete(c.resItems, evicted)
+	}
 }
 
 type cacheKey struct {
@@ -220,6 +305,9 @@ type CacheStats struct {
 	Entries       int    `json:"entries"`
 	Bytes         int64  `json:"bytes"`
 	MaxBytes      int64  `json:"max_bytes"`
+	ResultHits    uint64 `json:"result_hits"`
+	ResultMisses  uint64 `json:"result_misses"`
+	ResultEntries int    `json:"result_entries"`
 }
 
 // Stats returns a consistent snapshot of the cache counters. A nil cache
@@ -231,6 +319,9 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	entries, bytes := c.ll.Len(), c.bytes
 	c.mu.Unlock()
+	c.resMu.Lock()
+	resEntries := len(c.resItems)
+	c.resMu.Unlock()
 	return CacheStats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
@@ -240,5 +331,8 @@ func (c *Cache) Stats() CacheStats {
 		Entries:       entries,
 		Bytes:         bytes,
 		MaxBytes:      c.maxBytes,
+		ResultHits:    c.resHits.Load(),
+		ResultMisses:  c.resMisses.Load(),
+		ResultEntries: resEntries,
 	}
 }

@@ -93,22 +93,46 @@ func (v *View) record(id uint64) (*decodedRecord, error) {
 	return d, nil
 }
 
-// WhereAt answers §5.1 for the vehicle's latest record.
+// WhereAt answers §5.1 for the vehicle's latest record. Identical repeated
+// requests are served from the result memo: the key embeds the record
+// revision, so a hit is exactly the answer a fresh decode would produce.
 func (v *View) WhereAt(id uint64, t float64) (geo.Point, error) {
+	if v.cache != nil {
+		if rev, _, err := v.src.StatRecord(id); err == nil {
+			if x, y, qerr, ok := v.cache.getResult(resultKey{id: id, rev: rev, kind: resultWhereAt, a: t}); ok {
+				return geo.Point{X: x, Y: y}, qerr
+			}
+		}
+	}
 	d, err := v.record(id)
 	if err != nil {
 		return geo.Point{}, err
 	}
-	return v.eng.whereAtUnits(&sliceIter{units: d.units}, d.temporal, t)
+	pt, qerr := v.eng.whereAtUnits(&sliceIter{units: d.units}, d.temporal, t)
+	// Memoize under the revision the answer was actually computed from
+	// (d.rev), not the one the probe above observed — a concurrent append
+	// between the two must not publish this answer under the newer key.
+	v.cache.putResult(resultKey{id: id, rev: d.rev, kind: resultWhereAt, a: t}, pt.X, pt.Y, qerr)
+	return pt, qerr
 }
 
-// WhenAt answers §5.2 for the vehicle's latest record.
+// WhenAt answers §5.2 for the vehicle's latest record, memoized like
+// WhereAt.
 func (v *View) WhenAt(id uint64, p geo.Point) (float64, error) {
+	if v.cache != nil {
+		if rev, _, err := v.src.StatRecord(id); err == nil {
+			if x, _, qerr, ok := v.cache.getResult(resultKey{id: id, rev: rev, kind: resultWhenAt, a: p.X, b: p.Y}); ok {
+				return x, qerr
+			}
+		}
+	}
 	d, err := v.record(id)
 	if err != nil {
 		return 0, err
 	}
-	return v.eng.whenAtUnits(&sliceIter{units: d.units}, d.temporal, p)
+	t, qerr := v.eng.whenAtUnits(&sliceIter{units: d.units}, d.temporal, p)
+	v.cache.putResult(resultKey{id: id, rev: d.rev, kind: resultWhenAt, a: p.X, b: p.Y}, t, 0, qerr)
+	return t, qerr
 }
 
 // Range answers §5.3 for the vehicle's latest record.

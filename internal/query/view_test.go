@@ -408,3 +408,89 @@ func TestNewViewValidation(t *testing.T) {
 }
 
 var errNotUsed = errors.New("x")
+
+// Identical repeated point queries must be served from the result memo —
+// no decode-cache walk, no unit interpolation — and the memoized answer
+// must be bitwise the fresh one. Replacing the record changes the revision
+// in the key, so the memo can never serve a stale answer.
+func TestViewResultMemo(t *testing.T) {
+	f := newFixture(t, 0, 0)
+	src := newMemSource()
+	src.Put(7, f.cts[0])
+	v, err := NewView(f.eng, src, NewCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt := f.cts[0].Temporal[0].T
+	cold, err := v.WhereAt(7, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := v.WhereAt(7, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != warm {
+		t.Fatalf("memoized WhereAt = %v, fresh %v", warm, cold)
+	}
+	coldT, err := v.WhenAt(7, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmT, err := v.WhenAt(7, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldT != warmT {
+		t.Fatalf("memoized WhenAt = %v, fresh %v", warmT, coldT)
+	}
+	st := v.CacheStats()
+	if st.ResultHits != 2 {
+		t.Errorf("result hits = %d, want 2 (one per repeated query)", st.ResultHits)
+	}
+	if st.ResultEntries != 2 {
+		t.Errorf("result entries = %d, want 2", st.ResultEntries)
+	}
+
+	// Replace the record: the same arguments must recompute at the new
+	// revision, not serve the old answer.
+	src.Put(7, f.cts[1])
+	qt2 := f.cts[1].Temporal[0].T
+	got, err := v.WhereAt(7, qt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.eng.WhereAt(f.cts[1], qt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-replace WhereAt = %v, want %v", got, want)
+	}
+}
+
+// A nil cache disables the memo without changing any answer.
+func TestViewResultMemoCacheOff(t *testing.T) {
+	f := newFixture(t, 0, 0)
+	src := newMemSource()
+	src.Put(3, f.cts[0])
+	v, err := NewView(f.eng, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt := f.cts[0].Temporal[0].T
+	a, err := v.WhereAt(3, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.WhereAt(3, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cache-off WhereAt unstable: %v then %v", a, b)
+	}
+	if st := v.CacheStats(); st.ResultHits != 0 || st.ResultMisses != 0 {
+		t.Fatalf("nil cache counted memo traffic: %+v", st)
+	}
+}

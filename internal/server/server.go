@@ -84,6 +84,14 @@ type SPInfo struct {
 	CachedRows  int    `json:"cached_rows"`
 	HeapBytes   int    `json:"heap_bytes"`
 	MappedBytes int    `json:"mapped_bytes"`
+
+	// Hier-only accounting (zero for table/snapshot systems).
+	BuildWorkers     int    `json:"build_workers"`
+	WitnessSettleCap int    `json:"witness_settle_cap"`
+	RowCacheBytes    int    `json:"row_cache_bytes"`
+	UnpackHits       uint64 `json:"unpack_hits"`
+	UnpackMisses     uint64 `json:"unpack_misses"`
+	UnpackBytes      int    `json:"unpack_bytes"`
 }
 
 // Options tunes the serving behavior.
@@ -827,6 +835,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("press_query_cache_evictions_total", "Cache entries evicted.", cs.Evictions)
 	gauge("press_query_cache_entries", "Entries resident in the query cache.", float64(cs.Entries))
 	gauge("press_query_cache_bytes", "Estimated bytes resident in the query cache.", float64(cs.Bytes))
+	counter("press_query_result_cache_hits_total", "Memoized whereat/whenat result hits.", cs.ResultHits)
+	counter("press_query_result_cache_misses_total", "Memoized whereat/whenat result misses.", cs.ResultMisses)
+	gauge("press_query_result_cache_entries", "Entries resident in the result memo.", float64(cs.ResultEntries))
 	counter("press_query_decodes_total", "Records fully decoded by the query view.", s.view.Decodes())
 
 	idx := s.indexInfo()
@@ -847,6 +858,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauge("press_sp_heap_bytes", "Shortest-path source bytes resident on the Go heap.", float64(sp.HeapBytes))
 		gauge("press_sp_mapped_bytes", "Shortest-path source bytes served from the read-only snapshot mapping.", float64(sp.MappedBytes))
 		gauge("press_sp_cached_rows", "Shortest-path rows materialized on the heap.", float64(sp.CachedRows))
+		if sp.Kind == "hier" {
+			gauge("press_sp_build_workers", "Goroutines the contraction-hierarchy build ran on.", float64(sp.BuildWorkers))
+			gauge("press_sp_witness_settle_cap", "Resolved witness settle cap of the hierarchy build.", float64(sp.WitnessSettleCap))
+			gauge("press_sp_row_cache_bytes", "Heap bytes of the hot-source exact-row LRU.", float64(sp.RowCacheBytes))
+			counter("press_sp_unpack_cache_hits_total", "Shortcut-unpack cache hits.", sp.UnpackHits)
+			counter("press_sp_unpack_cache_misses_total", "Shortcut-unpack cache misses.", sp.UnpackMisses)
+			gauge("press_sp_unpack_cache_bytes", "Heap bytes of the shortcut-unpack cache.", float64(sp.UnpackBytes))
+		}
 	}
 
 	names := make([]string, 0, len(s.metrics))

@@ -641,6 +641,10 @@ type queryStatsDoc struct {
 			Entries   int    `json:"entries"`
 			Bytes     int64  `json:"bytes"`
 			MaxBytes  int64  `json:"max_bytes"`
+
+			ResultHits    uint64 `json:"result_hits"`
+			ResultMisses  uint64 `json:"result_misses"`
+			ResultEntries int    `json:"result_entries"`
 		} `json:"cache"`
 		Decodes uint64 `json:"decodes"`
 	} `json:"query"`
@@ -844,12 +848,19 @@ func TestWarmQueryReportsCacheHit(t *testing.T) {
 	if err := st.Append(7, ct); err != nil {
 		t.Fatal(err)
 	}
-	tq := fxt.ds.Truth[0].Temporal[0].T
+	temporal := fxt.ds.Truth[0].Temporal
+	tq := temporal[0].T
 	url := ts.URL + "/v1/whereat?id=7&t=" + f(tq)
 	for i := 0; i < 3; i++ {
 		if status := getJSON(t, url, nil); status != http.StatusOK {
 			t.Fatalf("whereat = %d", status)
 		}
+	}
+	// A distinct timestamp misses the result memo but hits the
+	// decoded-record cache underneath it.
+	url2 := ts.URL + "/v1/whereat?id=7&t=" + f(temporal[len(temporal)-1].T)
+	if status := getJSON(t, url2, nil); status != http.StatusOK {
+		t.Fatalf("whereat (distinct t) = %d", status)
 	}
 	var stats queryStatsDoc
 	if status := getJSON(t, ts.URL+"/v1/stats", &stats); status != http.StatusOK {
@@ -858,8 +869,11 @@ func TestWarmQueryReportsCacheHit(t *testing.T) {
 	if !stats.Query.CacheEnabled {
 		t.Fatal("cache not enabled by default")
 	}
-	if stats.Query.Cache.Hits < 2 {
-		t.Errorf("cache hits = %d, want >= 2", stats.Query.Cache.Hits)
+	if stats.Query.Cache.ResultHits < 2 {
+		t.Errorf("result memo hits = %d, want >= 2", stats.Query.Cache.ResultHits)
+	}
+	if stats.Query.Cache.Hits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", stats.Query.Cache.Hits)
 	}
 	if stats.Query.Decodes != 1 {
 		t.Errorf("decodes = %d, want 1", stats.Query.Decodes)
@@ -876,9 +890,9 @@ func TestWarmQueryReportsCacheHit(t *testing.T) {
 		ts2.Close()
 		srv2.Close()
 	}()
-	url2 := ts2.URL + "/v1/whereat?id=7&t=" + f(tq)
+	urlOff := ts2.URL + "/v1/whereat?id=7&t=" + f(tq)
 	for i := 0; i < 2; i++ {
-		if status := getJSON(t, url2, nil); status != http.StatusOK {
+		if status := getJSON(t, urlOff, nil); status != http.StatusOK {
 			t.Fatalf("whereat (no cache) = %d", status)
 		}
 	}
@@ -944,7 +958,7 @@ func TestMetricsExposition(t *testing.T) {
 	text := string(body)
 	for _, want := range []string{
 		"# TYPE press_query_cache_hits_total counter",
-		"press_query_cache_hits_total 1",
+		"press_query_result_cache_hits_total 1",
 		"press_query_decodes_total 1",
 		"press_store_records 1",
 		"press_fleet_index_upserts_total",

@@ -75,6 +75,22 @@ type HierOptions struct {
 	// RowCacheRows bounds the LRU of fully expanded Dijkstra rows
 	// (0 = default of 64). Each row costs about 12·|E| bytes.
 	RowCacheRows int
+
+	// BuildWorkers sets how many goroutines the batched contraction build
+	// uses (0 = GOMAXPROCS). The hierarchy is byte-identical at any
+	// worker count; the knob only trades build wall-clock for CPU.
+	BuildWorkers int
+
+	// WitnessSettleCap bounds each witness search during construction
+	// (0 = derive from line-graph density, see resolveWitnessCap). The
+	// same value caps the cheap witness probes some query-side heuristics
+	// run, so it is resolved for mapped hierarchies too.
+	WitnessSettleCap int
+
+	// UnpackCacheEntries bounds the LRU of unpacked shortcut expansions
+	// shared by Path/GapDist/SPEnd (0 = default of 2048, negative =
+	// disabled). Each entry costs ~2 original arcs of the shortcut's span.
+	UnpackCacheEntries int
 }
 
 // Hier answers the SP contract from a contraction hierarchy over the line
@@ -105,8 +121,12 @@ type Hier struct {
 	checkOnce    sync.Once
 	checkErr     error
 
-	rowCap      int
-	expandAfter int // misses per source before row expansion (tests tune it)
+	rowCap       int
+	expandAfter  int // misses per source before row expansion (tests tune it)
+	witnessCap   int // resolved witness settle cap (build knob, reported in stats)
+	buildWorkers int // workers the build actually used (0 for mapped opens)
+
+	unpack *unpackCache // bounded LRU of unpacked shortcut expansions
 
 	mu   sync.Mutex
 	rows map[roadnet.EdgeID]*hierRow
@@ -132,9 +152,10 @@ func NewHier(g *roadnet.Graph) *Hier {
 
 // NewHierWith builds a contraction hierarchy over g with explicit options.
 func NewHierWith(g *roadnet.Graph, opt HierOptions) *Hier {
-	b := newCHBuilder(g)
+	b := newCHBuilder(g, opt)
 	b.run()
 	h := b.encode()
+	h.buildWorkers = b.workers
 	h.finish(opt)
 	return h
 }
@@ -146,6 +167,8 @@ func (h *Hier) finish(opt HierOptions) {
 		h.rowCap = defaultHierRowCache
 	}
 	h.expandAfter = hierExpandThreshold
+	h.witnessCap = resolveWitnessCap(opt.WitnessSettleCap, h.numArcs-h.shortcuts, h.n)
+	h.unpack = newUnpackCache(opt.UnpackCacheEntries)
 	h.rows = make(map[roadnet.EdgeID]*hierRow)
 	h.lru = list.New()
 	h.miss = make(map[roadnet.EdgeID]int)
@@ -379,6 +402,15 @@ func (h *Hier) unpackArc(ctx *hierCtx, out []roadnet.EdgeID, arc int32) []roadne
 		a := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if l := h.arcLeft(a); l >= 0 {
+			// A sub-shortcut may already be memoized; the top-level arc
+			// was consulted by unpackArcTop, so skip it here rather than
+			// tallying its miss twice.
+			if a != arc {
+				if nodes, ok := h.unpack.get(a); ok {
+					out = append(out, nodes...)
+					continue
+				}
+			}
 			// Push right first so left unpacks first (LIFO).
 			stack = append(stack, h.arcRight(a), l)
 			continue
@@ -386,6 +418,22 @@ func (h *Hier) unpackArc(ctx *hierCtx, out []roadnet.EdgeID, arc int32) []roadne
 		out = append(out, roadnet.EdgeID(h.arcTo(a)))
 	}
 	ctx.stack = stack[:0]
+	return out
+}
+
+// unpackArcTop is unpackArc fronted by the unpack cache: a hit appends the
+// memoized expansion straight into out; a miss runs the recursion and
+// memoizes the freshly produced span.
+func (h *Hier) unpackArcTop(ctx *hierCtx, out []roadnet.EdgeID, arc int32) []roadnet.EdgeID {
+	if h.arcLeft(arc) < 0 {
+		return append(out, roadnet.EdgeID(h.arcTo(arc)))
+	}
+	if nodes, ok := h.unpack.get(arc); ok {
+		return append(out, nodes...)
+	}
+	start := len(out)
+	out = h.unpackArc(ctx, out, arc)
+	h.unpack.put(arc, out[start:])
 	return out
 }
 
@@ -401,11 +449,11 @@ func (h *Hier) pathNodes(ctx *hierCtx, s, t, meet int32) []roadnet.EdgeID {
 	nodes := ctx.nodes[:0]
 	nodes = append(nodes, roadnet.EdgeID(s))
 	for i := len(chain) - 1; i >= 0; i-- {
-		nodes = h.unpackArc(ctx, nodes, chain[i])
+		nodes = h.unpackArcTop(ctx, nodes, chain[i])
 	}
 	for v := meet; v != t; {
 		a := ctx.pb[v]
-		nodes = h.unpackArc(ctx, nodes, a)
+		nodes = h.unpackArcTop(ctx, nodes, a)
 		v = h.arcTo(a)
 	}
 	ctx.chain = chain
@@ -509,14 +557,53 @@ func (h *Hier) MemoryBytes() int {
 		total += len(h.rank) + len(h.arcs) +
 			len(h.fwdIdx) + len(h.fwdList) + len(h.bwdIdx) + len(h.bwdList)
 	}
+	_, _, unpackBytes := h.unpack.stats()
+	total += unpackBytes
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return total + h.rowCacheBytesLocked()
+}
+
+// hierRowOverhead approximates the per-row bookkeeping bytes beyond the
+// pred/dist arrays themselves: the hierRow struct (slice headers + element
+// pointer), its list.Element, and a map-bucket share. Pinned by
+// TestHierRowCacheBytesExact against manual accounting.
+const hierRowOverhead = 120
+
+// rowCacheBytesLocked sums the exact-row LRU's heap bytes: the pred/dist
+// arrays, per-row bookkeeping, and the miss tally. Callers hold h.mu.
+func (h *Hier) rowCacheBytesLocked() int {
+	total := 0
 	for _, r := range h.rows {
 		total += cap(r.pred)*edgeIDBytes + sliceHeaderBytes
 		total += cap(r.dist)*float64Bytes + sliceHeaderBytes
+		total += hierRowOverhead
 	}
 	total += len(h.miss) * (edgeIDBytes + 8)
 	return total
+}
+
+// RowCacheBytes reports the heap bytes held by the hot-source exact-row LRU
+// (rows plus bookkeeping plus the miss tally). Part of MemoryBytes; broken
+// out so SPStats can account for the cache explicitly.
+func (h *Hier) RowCacheBytes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rowCacheBytesLocked()
+}
+
+// WitnessCap reports the resolved witness settle cap the build used (or, for
+// a mapped Hier, the cap the options would resolve to on this graph).
+func (h *Hier) WitnessCap() int { return h.witnessCap }
+
+// BuildWorkers reports how many goroutines contraction ran on (0 for a
+// mapped Hier, which did no contraction in this process).
+func (h *Hier) BuildWorkers() int { return h.buildWorkers }
+
+// UnpackCacheStats reports the unpack LRU's hit/miss counters and current
+// heap bytes (all zero when the cache is disabled).
+func (h *Hier) UnpackCacheStats() (hits, misses uint64, bytes int) {
+	return h.unpack.stats()
 }
 
 // MappedBytes reports the bytes served from the read-only snapshot mapping
@@ -741,330 +828,3 @@ func (q *nodeHeap) pop() (float64, int32) {
 	return k, v
 }
 
-// --- Construction -----------------------------------------------------------
-
-type chArc struct {
-	from, to    int32
-	weight      float64
-	left, right int32 // constituent arena arcs of a shortcut, -1 for originals
-}
-
-// dedupe collapses parallel arcs toward one node to the minimum weight,
-// with epoch-stamped O(1) lookups and a first-occurrence key list (arena
-// order, so deterministic).
-type dedupe struct {
-	val   []float64
-	arc   []int32
-	stamp []uint32
-	epoch uint32
-	keys  []int32
-}
-
-func newDedupe(n int) *dedupe {
-	return &dedupe{val: make([]float64, n), arc: make([]int32, n), stamp: make([]uint32, n)}
-}
-
-func (m *dedupe) reset() {
-	m.epoch++
-	if m.epoch == 0 {
-		for i := range m.stamp {
-			m.stamp[i] = 0
-		}
-		m.epoch = 1
-	}
-	m.keys = m.keys[:0]
-}
-
-func (m *dedupe) add(k int32, v float64, arc int32) {
-	if m.stamp[k] != m.epoch {
-		m.stamp[k] = m.epoch
-		m.val[k], m.arc[k] = v, arc
-		m.keys = append(m.keys, k)
-		return
-	}
-	if v < m.val[k] {
-		m.val[k], m.arc[k] = v, arc
-	}
-}
-
-func (m *dedupe) get(k int32) (float64, int32) { return m.val[k], m.arc[k] }
-
-// chBuilder carries the mutable contraction state. Everything is slices and
-// epoch stamps; the only map in the whole build is gone by encode time.
-type chBuilder struct {
-	g          *roadnet.Graph
-	n          int
-	arcs       []chArc
-	out, in    [][]int32 // arena arc ids by endpoint; stale entries filtered on use
-	contracted []bool
-	delNbrs    []int32
-	rank       []int32
-	origArcs   int
-
-	wDist  []float64
-	wStamp []uint32
-	wEpoch uint32
-	wHeap  nodeHeap
-
-	outD, inD *dedupe
-	prio      nodeHeap
-}
-
-func newCHBuilder(g *roadnet.Graph) *chBuilder {
-	n := g.NumEdges()
-	b := &chBuilder{
-		g: g, n: n,
-		out:        make([][]int32, n),
-		in:         make([][]int32, n),
-		contracted: make([]bool, n),
-		delNbrs:    make([]int32, n),
-		rank:       make([]int32, n),
-		wDist:      make([]float64, n),
-		wStamp:     make([]uint32, n),
-		outD:       newDedupe(n),
-		inD:        newDedupe(n),
-	}
-	// Original line-graph arcs: a→b for every successor edge b of a.
-	// Self-arcs (an edge looping straight back onto itself) can never lie
-	// on a shortest path with positive weights, so they are dropped here —
-	// matching Dijkstra, which would never relax them to a better distance.
-	for a := 0; a < n; a++ {
-		head := g.Edge(roadnet.EdgeID(a)).To
-		for _, next := range g.Out(head) {
-			if int(next) == a {
-				continue
-			}
-			id := int32(len(b.arcs))
-			b.arcs = append(b.arcs, chArc{int32(a), int32(next), g.Edge(next).Weight, -1, -1})
-			b.out[a] = append(b.out[a], id)
-			b.in[next] = append(b.in[next], id)
-		}
-	}
-	b.origArcs = len(b.arcs)
-	return b
-}
-
-// witness runs a bounded Dijkstra from source through the uncontracted core
-// (excluding the node being contracted), pruned at bound and capped at
-// hierWitnessSettleCap settled nodes. Distances land in the epoch-stamped
-// wDist array.
-func (b *chBuilder) witness(source, excluded int32, bound float64) {
-	b.wEpoch++
-	if b.wEpoch == 0 {
-		for i := range b.wStamp {
-			b.wStamp[i] = 0
-		}
-		b.wEpoch = 1
-	}
-	q := &b.wHeap
-	q.reset()
-	b.wDist[source] = 0
-	b.wStamp[source] = b.wEpoch
-	q.push(0, source)
-	settled := 0
-	for q.len() > 0 {
-		d, x := q.pop()
-		if d > bound {
-			break
-		}
-		if b.wStamp[x] != b.wEpoch || d > b.wDist[x] {
-			continue
-		}
-		settled++
-		if settled > hierWitnessSettleCap {
-			break
-		}
-		for _, a := range b.out[x] {
-			arc := &b.arcs[a]
-			w := arc.to
-			if w == excluded || b.contracted[w] {
-				continue
-			}
-			nd := d + arc.weight
-			if nd > bound {
-				continue
-			}
-			if b.wStamp[w] != b.wEpoch || nd < b.wDist[w] {
-				b.wDist[w] = nd
-				b.wStamp[w] = b.wEpoch
-				q.push(nd, w)
-			}
-		}
-	}
-}
-
-func (b *chBuilder) witnessDist(w int32) (float64, bool) {
-	if b.wStamp[w] != b.wEpoch {
-		return 0, false
-	}
-	return b.wDist[w], true
-}
-
-// simulate counts — and with add set, inserts — the shortcuts contracting v
-// requires, returning (shortcuts, liveArcsRemoved) for the edge-difference
-// heuristic. A shortcut u→w is needed when no witness path of cost at most
-// c1+c2 avoids v; a witness search cut short by its caps just means a
-// redundant shortcut, never a wrong distance.
-func (b *chBuilder) simulate(v int32, add bool) (added, removed int) {
-	outs, ins := b.outD, b.inD
-	outs.reset()
-	ins.reset()
-	for _, a := range b.out[v] {
-		arc := &b.arcs[a]
-		if arc.to == v || b.contracted[arc.to] {
-			continue
-		}
-		removed++
-		outs.add(arc.to, arc.weight, a)
-	}
-	for _, a := range b.in[v] {
-		arc := &b.arcs[a]
-		if arc.from == v || b.contracted[arc.from] {
-			continue
-		}
-		removed++
-		ins.add(arc.from, arc.weight, a)
-	}
-	if len(outs.keys) == 0 || len(ins.keys) == 0 {
-		return added, removed
-	}
-	maxC2 := 0.0
-	for _, w := range outs.keys {
-		if c2, _ := outs.get(w); c2 > maxC2 {
-			maxC2 = c2
-		}
-	}
-	for _, u := range ins.keys {
-		c1, inArc := ins.get(u)
-		b.witness(u, v, c1+maxC2)
-		for _, w := range outs.keys {
-			if w == u {
-				continue
-			}
-			c2, outArc := outs.get(w)
-			need := c1 + c2
-			if wd, ok := b.witnessDist(w); ok && wd <= need {
-				continue
-			}
-			added++
-			if add {
-				id := int32(len(b.arcs))
-				b.arcs = append(b.arcs, chArc{u, w, need, inArc, outArc})
-				b.out[u] = append(b.out[u], id)
-				b.in[w] = append(b.in[w], id)
-			}
-		}
-	}
-	return added, removed
-}
-
-// priority is the lazy importance heuristic: edge difference (shortcuts
-// added minus live arcs removed) dominates, the deleted-neighbor count
-// spreads contraction evenly. Smaller contracts first; ties break on node
-// id through the heap, so the ordering — and with it every downstream
-// byte — is deterministic.
-func (b *chBuilder) priority(v int32) float64 {
-	added, removed := b.simulate(v, false)
-	return float64(2*(added-removed) + int(b.delNbrs[v]))
-}
-
-// run contracts every node in lazy priority order.
-func (b *chBuilder) run() {
-	for v := 0; v < b.n; v++ {
-		b.prio.push(b.priority(int32(v)), int32(v))
-	}
-	order := int32(0)
-	for b.prio.len() > 0 {
-		_, v := b.prio.pop()
-		if b.contracted[v] {
-			continue
-		}
-		np := b.priority(v)
-		if b.prio.len() > 0 {
-			tk, tv := b.prio.peek()
-			if np > tk || (np == tk && v > tv) {
-				b.prio.push(np, v)
-				continue
-			}
-		}
-		b.simulate(v, true)
-		// outD/inD still hold v's live unique neighbors from the simulate
-		// call above.
-		for _, u := range b.inD.keys {
-			b.delNbrs[u]++
-		}
-		for _, w := range b.outD.keys {
-			b.delNbrs[w]++
-		}
-		b.rank[v] = order
-		order++
-		b.contracted[v] = true
-	}
-}
-
-// encode freezes the contracted hierarchy into the flat little-endian
-// sections the query path (and the snapshot writer) reads.
-func (b *chBuilder) encode() *Hier {
-	n := b.n
-	h := &Hier{g: b.g, n: n, numArcs: len(b.arcs), shortcuts: len(b.arcs) - b.origArcs}
-
-	h.rank = make([]byte, 4*n)
-	for v, r := range b.rank {
-		binary.LittleEndian.PutUint32(h.rank[4*v:], uint32(r))
-	}
-
-	h.arcs = make([]byte, hierArcBytes*len(b.arcs))
-	for i := range b.arcs {
-		a := &b.arcs[i]
-		off := hierArcBytes * i
-		binary.LittleEndian.PutUint32(h.arcs[off:], uint32(a.from))
-		binary.LittleEndian.PutUint32(h.arcs[off+4:], uint32(a.to))
-		binary.LittleEndian.PutUint32(h.arcs[off+8:], uint32(a.left))
-		binary.LittleEndian.PutUint32(h.arcs[off+12:], uint32(a.right))
-		binary.LittleEndian.PutUint64(h.arcs[off+16:], math.Float64bits(a.weight))
-	}
-
-	fwdCnt := make([]uint32, n+1)
-	bwdCnt := make([]uint32, n+1)
-	for i := range b.arcs {
-		a := &b.arcs[i]
-		if b.rank[a.from] < b.rank[a.to] {
-			fwdCnt[a.from+1]++
-		} else {
-			bwdCnt[a.to+1]++
-		}
-	}
-	for v := 1; v <= n; v++ {
-		fwdCnt[v] += fwdCnt[v-1]
-		bwdCnt[v] += bwdCnt[v-1]
-	}
-	fwdList := make([]uint32, fwdCnt[n])
-	bwdList := make([]uint32, bwdCnt[n])
-	fwdCur := make([]uint32, n)
-	bwdCur := make([]uint32, n)
-	copy(fwdCur, fwdCnt[:n])
-	copy(bwdCur, bwdCnt[:n])
-	for i := range b.arcs {
-		a := &b.arcs[i]
-		if b.rank[a.from] < b.rank[a.to] {
-			fwdList[fwdCur[a.from]] = uint32(i)
-			fwdCur[a.from]++
-		} else {
-			bwdList[bwdCur[a.to]] = uint32(i)
-			bwdCur[a.to]++
-		}
-	}
-
-	encodeU32 := func(vals []uint32) []byte {
-		buf := make([]byte, 4*len(vals))
-		for i, v := range vals {
-			binary.LittleEndian.PutUint32(buf[4*i:], v)
-		}
-		return buf
-	}
-	h.fwdIdx = encodeU32(fwdCnt)
-	h.fwdList = encodeU32(fwdList)
-	h.bwdIdx = encodeU32(bwdCnt)
-	h.bwdList = encodeU32(bwdList)
-	return h
-}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package spindex
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package spindex
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool intentionally drops items at random and allocation
+// counting is meaningless.
+const raceEnabled = true

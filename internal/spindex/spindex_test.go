@@ -13,7 +13,7 @@ import (
 
 // randomGraph builds a connected-ish random planar-ish digraph for
 // brute-force comparison.
-func randomGraph(t *testing.T, nv, ne int, seed int64) *roadnet.Graph {
+func randomGraph(t testing.TB, nv, ne int, seed int64) *roadnet.Graph {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	vs := make([]roadnet.Vertex, nv)

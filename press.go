@@ -172,6 +172,11 @@ type Config struct {
 	// hierarchy (PRSP v2), mapped when present and valid, rebuilt and
 	// rewritten on a miss.
 	SPMode SPMode
+	// SPBuildWorkers sets how many goroutines the SPModeHier contraction
+	// build runs on (0 = GOMAXPROCS). The hierarchy — and any PRSP v2
+	// snapshot written from it — is byte-identical at every worker count;
+	// the knob only trades build wall-clock for CPU.
+	SPBuildWorkers int
 	// SPSnapshotPath makes the shortest-path table disk-resident: when the
 	// file exists and matches the graph, NewSystem memory-maps it read-only
 	// (no Dijkstra work on reopen, and N processes share one copy via the
@@ -276,7 +281,7 @@ func NewSystem(g *Graph, training []Path, cfg Config) (*System, error) {
 			}
 		}
 		if sp == nil {
-			h := spindex.NewHier(g)
+			h := spindex.NewHierWith(g, spindex.HierOptions{BuildWorkers: cfg.SPBuildWorkers})
 			if cfg.SPSnapshotPath != "" {
 				if err := h.SaveSnapshot(cfg.SPSnapshotPath); err != nil {
 					return nil, fmt.Errorf("press: saving SP snapshot: %w", err)
@@ -445,6 +450,14 @@ type SPStats struct {
 	CachedRows  int    // rows materialized on the Go heap
 	HeapBytes   int    // estimated heap bytes of those rows
 	MappedBytes int    // bytes served from the read-only mapping
+
+	// Hier-only accounting (zero for table/snapshot systems).
+	BuildWorkers     int    // goroutines the contraction build ran on
+	WitnessSettleCap int    // resolved witness settle cap (knob or density-derived)
+	RowCacheBytes    int    // heap bytes of the hot-source exact-row LRU
+	UnpackHits       uint64 // unpack-cache hits since construction
+	UnpackMisses     uint64 // unpack-cache misses since construction
+	UnpackBytes      int    // heap bytes the unpack cache currently holds
 }
 
 // SPStats reports the current shortest-path source accounting.
@@ -455,7 +468,23 @@ func (s *System) SPStats() SPStats {
 	case *spindex.Table:
 		return SPStats{Kind: string(SPModeTable), CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes()}
 	case *spindex.Hier:
-		return SPStats{Kind: string(SPModeHier), Mapped: sp.Mapped(), CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes(), MappedBytes: sp.MappedBytes()}
+		uh, um, ub := sp.UnpackCacheStats()
+		workers := sp.BuildWorkers()
+		if workers == 0 {
+			// A mapped hierarchy did no contraction in this process; report
+			// the worker count a rebuild would use so operators can see the
+			// effective configuration either way.
+			workers = s.cfg.SPBuildWorkers
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+		}
+		return SPStats{
+			Kind: string(SPModeHier), Mapped: sp.Mapped(),
+			CachedRows: sp.CachedRows(), HeapBytes: sp.MemoryBytes(), MappedBytes: sp.MappedBytes(),
+			BuildWorkers: workers, WitnessSettleCap: sp.WitnessCap(), RowCacheBytes: sp.RowCacheBytes(),
+			UnpackHits: uh, UnpackMisses: um, UnpackBytes: ub,
+		}
 	default:
 		return SPStats{}
 	}

@@ -51,16 +51,21 @@ echo "$stats" | grep -q '"kind":"snapshot"'
 echo "$stats" | grep -q '"mapped":true'
 echo "$stats" | grep -q '"cached_rows":0'
 
-# Warm query path: repeating the same whereat must be served from the
-# decoded-record cache and show up as a hit in /v1/stats.
+# Warm query path. Repeating the identical whereat is answered by the
+# result memo (result_hits); a second timestamp on the same vehicle misses
+# the memo but finds the decoded record in the LRU (hits). Both layers must
+# show up in /v1/stats.
 curl -fs "$BASE/v1/whereat?id=7&t=30" >/dev/null
+curl -fs "$BASE/v1/whereat?id=7&t=45" | grep -q '"x"'
 stats="$(curl -fs "$BASE/v1/stats")"
 echo "$stats" | grep -q '"cache_enabled":true'
 echo "$stats" | grep -q '"hits":[1-9]'
+echo "$stats" | grep -q '"result_hits":[1-9]'
 
 # Prometheus exposition mirrors the same counters.
 metrics="$(curl -fs "$BASE/metrics")"
 echo "$metrics" | grep -q '^# TYPE press_query_cache_hits_total counter'
+echo "$metrics" | grep -q '^press_query_result_cache_hits_total [1-9]'
 echo "$metrics" | grep -q '^press_store_records 1'
 
 # Graceful drain: SIGTERM must produce a clean exit 0.
@@ -91,11 +96,15 @@ grep -q "rematerializing" "$tmp/pressd-hier.log"
 stats="$(curl -fs "$BASE/v1/stats")"
 echo "$stats" | grep -q '"kind":"hier"'
 echo "$stats" | grep -q '"mapped":true'
+echo "$stats" | grep -q '"build_workers":[1-9]'
+echo "$stats" | grep -q '"unpack_hits"'
 curl -fs "$BASE/v1/whereat?id=7&t=30" | grep -q '"x"'
 metrics="$(curl -fs "$BASE/metrics")"
 echo "$metrics" | grep -q '^press_sp_kind{kind="hier"} 1'
 echo "$metrics" | grep -q '^# TYPE press_sp_mapped_bytes gauge'
 echo "$metrics" | grep -q '^# TYPE press_sp_heap_bytes gauge'
+echo "$metrics" | grep -q '^press_sp_build_workers [1-9]'
+echo "$metrics" | grep -q '^# TYPE press_sp_unpack_cache_hits_total counter'
 
 kill -TERM "$pid"
 if ! wait "$pid"; then
