@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke streambench spbench spbenchsmoke spbuild spbuildsmoke serverbench querybench serve smoke fuzz allocgate ci
+.PHONY: all build vet test race bench benchsmoke streambench spbench spbenchsmoke spbuild spbuildsmoke serverbench querybench clusterbench serve smoke clustersmoke fuzz allocgate ci
 
 all: ci
 
@@ -65,6 +65,11 @@ serverbench:
 querybench:
 	$(GO) run ./cmd/pressbench -fig querybench
 
+# The partitioned fleet tier: bulk ingest and whereat throughput through
+# the scatter-gather router at 1/2/4 nodes over one shared SP snapshot.
+clusterbench:
+	$(GO) run ./cmd/pressbench -fig clusterbench
+
 # Boot the serving daemon on a freshly generated demo workload (ctrl-C or
 # SIGTERM drains and exits cleanly).
 serve:
@@ -77,6 +82,12 @@ serve:
 # /healthz plus one ingest+query round-trip, SIGTERM, assert clean exit.
 smoke:
 	./scripts/pressd_smoke.sh
+
+# Cluster smoke: two pressd nodes + the pressr router over one shared
+# snapshot — routed ingest, 421 misroutes, fleet scatter-gather, and the
+# 206 partial-result contract when a node dies mid-fleet.
+clustersmoke:
+	./scripts/cluster_smoke.sh
 
 # Short fuzz smoke: keeps the harnesses from bit-rotting. FUZZTIME=5m for a
 # real session.
@@ -93,4 +104,4 @@ fuzz:
 allocgate:
 	./scripts/allocgate.sh
 
-ci: build vet race benchsmoke fuzz allocgate spbenchsmoke spbuildsmoke smoke
+ci: build vet race benchsmoke fuzz allocgate spbenchsmoke spbuildsmoke smoke clustersmoke

@@ -15,9 +15,11 @@
 // streambench (live per-vehicle session ingest: per-point push latency and
 // sessions/s at 1/2/4/8 concurrent feeders), serverbench (the pressd
 // HTTP serving layer over loopback: ingest points/s over the wire, then
-// whereat requests/s at 1/2/4/8 concurrent clients) and querybench
+// whereat requests/s at 1/2/4/8 concurrent clients), querybench
 // (fleet-range p50 at 1x/10x/100x stored history: the incremental index +
-// bounding summaries must keep latency flat as old epochs accumulate).
+// bounding summaries must keep latency flat as old epochs accumulate) and
+// clusterbench (the partitioned fleet tier: bulk ingest and whereat
+// throughput through the scatter-gather router at 1/2/4 nodes).
 package main
 
 import (
@@ -41,6 +43,7 @@ import (
 	"math/rand"
 	"path/filepath"
 
+	"press/internal/cluster"
 	"press/internal/core"
 	"press/internal/experiments"
 	"press/internal/gen"
@@ -87,7 +90,8 @@ func main() {
 	if *fig == "all" || !(strings.EqualFold(*fig, "qscale") ||
 		strings.EqualFold(*fig, "storebench") || strings.EqualFold(*fig, "streambench") ||
 		strings.EqualFold(*fig, "spbench") || strings.EqualFold(*fig, "spbuild") ||
-		strings.EqualFold(*fig, "serverbench") || strings.EqualFold(*fig, "querybench")) {
+		strings.EqualFold(*fig, "serverbench") || strings.EqualFold(*fig, "querybench") ||
+		strings.EqualFold(*fig, "clusterbench")) {
 		env.Tab.PrecomputeAllParallel(*workers)
 	}
 	eng, err := query.NewEngine(env.DS.Graph, env.Tab, env.CB)
@@ -191,6 +195,9 @@ func main() {
 		{"querybench", func() error {
 			return runQueryBenchScenario(env)
 		}},
+		{"clusterbench", func() error {
+			return runClusterBenchScenario(env, *workers)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -215,6 +222,7 @@ var figIDs = []string{
 	"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "aux", "ablation", "qscale", "pipeline",
 	"storebench", "streambench", "spbench", "spbuild", "serverbench", "querybench",
+	"clusterbench",
 }
 
 // knownFig reports whether id names a runner, so bad ids fail before the
@@ -1253,6 +1261,227 @@ func runQueryBenchScenario(env *experiments.Env) error {
 	fmt.Printf("counters: rebuilds=0, summary_rejects=%d, buckets_skipped=%d, in-place updates=%d, cache hits=%d\n",
 		last.Index.Incremental.SummaryRejects, last.Index.Incremental.BucketsSkipped,
 		last.Index.Applied, last.Query.Cache.Hits)
+	fmt.Println()
+	return nil
+}
+
+// runClusterBenchScenario races the partitioned fleet tier at 1/2/4 nodes,
+// every row through the scatter-gather router (so the 1-node row carries
+// the same routing overhead and the deltas isolate partitioning). All nodes
+// share one memory-mapped SP snapshot — the deployment the cluster tier is
+// designed around: per-node work is O(fleet/N) while the expensive
+// read-only state is paid for once via the page cache.
+//
+// Phase 1 replays a replicated fleet as bulk binary wire bodies through the
+// router with a fixed client pool; the router splits each frame per owner
+// and the nodes compress their partitions concurrently, so points/s should
+// scale with the node count on multi-core hardware (flush-time FST encoding
+// is the dominant per-session cost). Phase 2 hammers GET /v1/whereat
+// through the router at the same client count. Numbers on a single-core CI
+// box are honest: rows still verify correctness (every session lands on
+// exactly its owner, counts sum across partitions) but show no speedup.
+func runClusterBenchScenario(env *experiments.Env, workers int) error {
+	g := env.DS.Graph
+
+	// Boot exactly like pressd: precompute once, snapshot, map it back.
+	tab := spindex.NewTable(g)
+	tab.PrecomputeAllParallel(workers)
+	dir, err := os.MkdirTemp("", "press-clusterbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "sp.snap")
+	if err := tab.SaveSnapshot(snapPath); err != nil {
+		return err
+	}
+	snap, err := spindex.OpenMapped(snapPath, g)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	comp, err := core.NewCompressor(g, snap, env.CB, 100, 60)
+	if err != nil {
+		return err
+	}
+	eng, err := query.NewEngine(g, snap, env.CB)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}}
+
+	// Pre-encode the workload once: the fleet replicated to ~targetSessions
+	// distinct vehicle ids, eight whole trips per bulk body. Identical ids
+	// and bytes at every node count.
+	feed := env.DS.Truth
+	if len(feed) == 0 {
+		return fmt.Errorf("clusterbench: no trajectories")
+	}
+	const targetSessions = 320
+	reps := (targetSessions + len(feed) - 1) / len(feed)
+	total := reps * len(feed)
+	var enc wire.Encoder
+	var bodies [][]byte
+	totalPoints := 0
+	for i := 0; i < total; i++ {
+		tr := feed[i%len(feed)]
+		enc.StartGroup(uint64(i), true)
+		_ = tr.Replay(
+			func(e roadnet.EdgeID) error { enc.Edge(e); totalPoints++; return nil },
+			func(p traj.Entry) error { enc.Sample(p); totalPoints++; return nil },
+		)
+		if (i+1)%8 == 0 || i == total-1 {
+			bodies = append(bodies, append([]byte(nil), enc.Finish()...))
+			enc.Reset()
+		}
+	}
+	span := make([][2]float64, len(feed))
+	for i, tr := range feed {
+		span[i] = [2]float64{tr.Temporal[0].T, tr.Temporal[len(tr.Temporal)-1].T}
+	}
+
+	clients := 8
+	const queries = 3000
+	fmt.Println("clusterbench: partitioned fleet through the scatter-gather router (shared SP snapshot)")
+	fmt.Printf("ingest: %d sessions, %d points; queries: %d whereat; %d clients per row\n",
+		total, totalPoints, queries, clients)
+	fmt.Printf("%8s %12s %12s %8s %12s %12s %8s\n",
+		"nodes", "ingest pt/s", "elapsed", "speedup", "whereat r/s", "elapsed", "speedup")
+	var ingestBase, queryBase float64
+	for _, n := range []int{1, 2, 4} {
+		stores := make([]*store.ShardedStore, n)
+		servers := make([]*server.Server, n)
+		addrs := make([]string, n)
+		for k := 0; k < n; k++ {
+			st, err := store.CreateSharded(filepath.Join(dir, fmt.Sprintf("fleet-%d-%d", n, k)), 4)
+			if err != nil {
+				return err
+			}
+			srv, err := server.New(context.Background(), server.Config{
+				Engine: eng, Compressor: comp, Store: st,
+				Options: server.Options{Cluster: server.ClusterOptions{Nodes: n, NodeIndex: k}},
+			})
+			if err != nil {
+				return err
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go srv.Serve(ln)
+			stores[k], servers[k], addrs[k] = st, srv, "http://"+ln.Addr().String()
+		}
+		topo, err := cluster.NewTopology(addrs)
+		if err != nil {
+			return err
+		}
+		rt, err := cluster.NewRouter(topo, cluster.Options{ProbeEvery: -1, Client: client})
+		if err != nil {
+			return err
+		}
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go rt.Serve(rln)
+		base := "http://" + rln.Addr().String()
+
+		run := func(jobs int, do func(i int) error) (time.Duration, error) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			t0 := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= jobs {
+							return
+						}
+						if err := do(i); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			select {
+			case err := <-errc:
+				return 0, err
+			default:
+			}
+			return time.Since(t0), nil
+		}
+
+		ingestElapsed, err := run(len(bodies), func(i int) error {
+			resp, err := client.Post(base+"/v1/ingest", wire.ContentType, bytes.NewReader(bodies[i]))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("bulk ingest: HTTP %d", resp.StatusCode)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("clusterbench: %d nodes: %w", n, err)
+		}
+		// Every session must have landed on exactly its owner.
+		stored := 0
+		for k, st := range stores {
+			stored += st.Len()
+			for i := 0; i < total; i++ {
+				if store.ShardOf(uint64(i), n) == k {
+					if _, err := st.Get(uint64(i)); err != nil {
+						return fmt.Errorf("clusterbench: %d nodes: vehicle %d missing from owner %d", n, i, k)
+					}
+				}
+			}
+		}
+		if stored != total {
+			return fmt.Errorf("clusterbench: %d nodes stored %d of %d sessions", n, stored, total)
+		}
+
+		queryElapsed, err := run(queries, func(i int) error {
+			v := i % total
+			s := span[v%len(feed)]
+			frac := float64((i*2654435761)%1000) / 1000
+			t := s[0] + frac*(s[1]-s[0])
+			resp, err := client.Get(fmt.Sprintf("%s/v1/whereat?id=%d&t=%g", base, v, t))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("whereat %d: HTTP %d", v, resp.StatusCode)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("clusterbench: %d nodes: %w", n, err)
+		}
+
+		rt.Close()
+		for k := 0; k < n; k++ {
+			servers[k].Close()
+			stores[k].Close()
+		}
+
+		ingestRate := float64(totalPoints) / ingestElapsed.Seconds()
+		queryRate := float64(queries) / queryElapsed.Seconds()
+		if n == 1 {
+			ingestBase, queryBase = ingestRate, queryRate
+		}
+		fmt.Printf("%8d %12.0f %12v %7.2fx %12.0f %12v %7.2fx\n",
+			n, ingestRate, ingestElapsed.Round(time.Millisecond), ingestRate/ingestBase,
+			queryRate, queryElapsed.Round(time.Millisecond), queryRate/queryBase)
+	}
 	fmt.Println()
 	return nil
 }

@@ -7,7 +7,14 @@
 //	pressd -net network.txt -train trips.txt -snapshot sp.snap -store fleet/ \
 //	       [-init] [-spmode table|hier] [-spworkers N] [-addr :8321] [-shards 4] [-theta 3] \
 //	       [-tsnd 0] [-nstd 0] [-idle-flush 30s] [-max-session-bytes 1048576] \
-//	       [-max-concurrent 0] [-max-frame-bytes 1048576] [-drain-timeout 30s]
+//	       [-max-concurrent 0] [-max-frame-bytes 1048576] [-drain-timeout 30s] \
+//	       [-cluster host0:8321,host1:8321 -node-index 0] [-checkpoint-every 0]
+//
+// With -cluster the daemon is one member of a static partitioned fleet: it
+// accepts only vehicles hashing to -node-index and answers 421 (naming the
+// owner) for the rest, exposes /readyz for the router's health probes, and
+// serves only its partition of fleet-wide queries. Put cmd/pressr in front
+// to reassemble the fleet surface.
 //
 // Ingest has two surfaces: JSON per vehicle (POST /v1/ingest/{id}, the
 // debug path) and the binary batched wire protocol (Content-Type
@@ -30,11 +37,13 @@
 // files) and reopened — recovering per shard from any crash tail — when
 // present.
 //
-// On SIGINT/SIGTERM the daemon drains: it stops accepting connections,
-// finishes in-flight requests, flushes every open ingest session to the
-// store within -drain-timeout, syncs and closes the store, and exits 0. A
-// drain that exceeds the timeout discards the remaining open sessions
-// (records already in the store always survive) and exits 1.
+// On SIGINT/SIGTERM the daemon drains: it drops /readyz first (so a router
+// stops sending new work), checkpoints every open ingest session to the
+// store, stops accepting connections, finishes in-flight requests, flushes
+// again, syncs and closes the store, and exits 0. A drain that exceeds
+// -drain-timeout discards the remaining open sessions (records already in
+// the store always survive) and exits 1. -checkpoint-every additionally
+// flushes all open sessions on a timer, bounding what a crash can lose.
 package main
 
 import (
@@ -75,8 +84,20 @@ func main() {
 		incIdx   = flag.Bool("incremental", false, "maintain the fleet index incrementally on each flush (no STR rebuilds)")
 		maxFrame = flag.Int("max-frame-bytes", 0, "binary wire frame payload cap in bytes (0 = 1 MiB default)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		cluster  = flag.String("cluster", "", "comma-separated node address list; enables cluster mode (every node and the router must use the same list)")
+		nodeIdx  = flag.Int("node-index", 0, "this node's index into -cluster")
+		ckptEach = flag.Duration("checkpoint-every", 0, "periodically flush all open ingest sessions to the store (0 = never)")
 	)
 	flag.Parse()
+
+	clusterOpt := press.ClusterOptions{}
+	if *cluster != "" {
+		topo, err := press.ParseClusterTopology(*cluster)
+		if err != nil {
+			fatal(err)
+		}
+		clusterOpt = press.ClusterOptions{Nodes: topo.Nodes(), NodeIndex: *nodeIdx}
+	}
 
 	g := loadNet(*netPath)
 	training := loadPaths(*train)
@@ -137,6 +158,7 @@ func main() {
 		QueryCacheBytes:  *cacheB,
 		IncrementalIndex: *incIdx,
 		MaxFrameBytes:    *maxFrame,
+		Cluster:          clusterOpt,
 	})
 	if err != nil {
 		st.Close()
@@ -148,23 +170,62 @@ func main() {
 		boot.Round(time.Millisecond), g.NumEdges(), stats.Kind, residency(stats.Mapped),
 		stats.CachedRows, stats.MappedBytes, *storeDir, st.Len(), st.Shards())
 
+	if clusterOpt.Nodes > 1 {
+		fmt.Printf("pressd: cluster node %d of %d (owning vehicles where hash(id) %% %d == %d)\n",
+			clusterOpt.NodeIndex, clusterOpt.Nodes, clusterOpt.Nodes, clusterOpt.NodeIndex)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	fmt.Printf("pressd: listening on %s\n", *addr)
+
+	// Periodic checkpoint: flush every open session so a later crash loses
+	// at most one checkpoint interval of tail points.
+	ckptDone := make(chan struct{})
+	if *ckptEach > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEach)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptDone:
+					return
+				case <-tick.C:
+					if n, err := srv.Checkpoint(context.Background()); err != nil {
+						fmt.Fprintf(os.Stderr, "pressd: checkpoint: %v\n", err)
+					} else if n > 0 {
+						fmt.Fprintf(os.Stderr, "pressd: checkpointed %d sessions\n", n)
+					}
+				}
+			}
+		}()
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
+		close(ckptDone)
 		st.Close()
 		fatal(err) // listener died before any signal
 	case <-sigCtx.Done():
 	}
 	stop()
+	close(ckptDone)
 
+	// Drain handoff: stop advertising readiness first so the router's next
+	// probe routes around this node, then checkpoint every open session while
+	// still accepting in-flight work, then stop the listener. Shutdown
+	// re-flushes whatever arrived between checkpoint and close.
 	fmt.Fprintf(os.Stderr, "pressd: draining (budget %v)...\n", *drain)
+	srv.SetReady(false)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if n, err := srv.Checkpoint(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pressd: drain checkpoint: %v\n", err)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "pressd: drain checkpointed %d sessions\n", n)
+	}
 	shutdownErr := srv.Shutdown(drainCtx)
 	syncErr := st.Sync()
 	closeErr := st.Close()

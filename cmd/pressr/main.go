@@ -1,0 +1,111 @@
+// Command pressr is the PRESS cluster router: a thin, stateless
+// scatter-gather front over a static fleet of pressd nodes started with
+// matching -cluster/-node-index flags.
+//
+//	pressr -cluster host0:8321,host1:8321 [-addr :8320] \
+//	       [-node-timeout 5s] [-retries 2] [-retry-backoff 25ms] \
+//	       [-probe-every 1s] [-probe-timeout 500ms] [-fail-threshold 2] \
+//	       [-max-frame-bytes 1048576] [-max-body-bytes 67108864]
+//
+// Single-vehicle traffic (ingest, whereat, whenat, ?id= range checks) is
+// forwarded to the owning node by the shared ownership hash, bytes
+// untouched. Bulk binary ingest is split into per-owner sub-frames without
+// re-encoding a point. Fleet-wide range queries scatter to every node and
+// gather the disjoint partitions back into one sorted id list; when a node
+// is down the answer degrades to 206 with "partial":true and the missing
+// node indexes instead of silently shrinking. Cross-partition mindistance
+// ships the second vehicle's compressed record between the two owners.
+//
+// Nodes are health-probed via /readyz; a node failing -fail-threshold
+// consecutive probes is routed around (single-vehicle requests for its
+// partition answer 503) until a probe succeeds again. Transient failures
+// are retried with jittered exponential backoff — connect errors always,
+// 5xx for idempotent reads, and for ingest only 503 (a draining node
+// refuses before touching state, so the replay cannot double-apply).
+//
+// The router holds no fleet state: run any number of them side by side
+// behind a load balancer. /v1/stats and /metrics expose per-node request,
+// error and retry counters plus the router's own per-endpoint latencies.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"press"
+)
+
+func main() {
+	var (
+		cluster   = flag.String("cluster", "", "comma-separated node address list (required; same list and order as the nodes)")
+		addr      = flag.String("addr", ":8320", "listen address")
+		nodeTO    = flag.Duration("node-timeout", 5*time.Second, "per-attempt timeout against one node")
+		retries   = flag.Int("retries", 2, "retries after a failed attempt (-1 = none)")
+		backoff   = flag.Duration("retry-backoff", 25*time.Millisecond, "base of the jittered exponential retry backoff")
+		probeEach = flag.Duration("probe-every", time.Second, "/readyz health-probe cadence (-1 = disabled)")
+		probeTO   = flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe timeout")
+		failThr   = flag.Int("fail-threshold", 2, "consecutive probe failures before a node is routed around")
+		maxFrame  = flag.Int("max-frame-bytes", 0, "binary wire frame payload cap in bytes (0 = 1 MiB default)")
+		maxBody   = flag.Int64("max-body-bytes", 0, "buffered request/response body cap in bytes (0 = 64 MiB default)")
+	)
+	flag.Parse()
+
+	if *cluster == "" {
+		fatal(fmt.Errorf("-cluster is required (comma-separated node addresses)"))
+	}
+	topo, err := press.ParseClusterTopology(*cluster)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := press.NewClusterRouter(topo, press.ClusterRouterOptions{
+		NodeTimeout:   *nodeTO,
+		Retries:       *retries,
+		RetryBackoff:  *backoff,
+		ProbeEvery:    *probeEach,
+		ProbeTimeout:  *probeTO,
+		FailThreshold: *failThr,
+		MaxFrameBytes: *maxFrame,
+		MaxBodyBytes:  *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("pressr: routing %d nodes:\n", topo.Nodes())
+	for i, a := range topo.Addrs() {
+		fmt.Printf("pressr:   node %d: %s\n", i, a)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- rt.ListenAndServe(*addr) }()
+	fmt.Printf("pressr: listening on %s\n", *addr)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err) // listener died before any signal
+	case <-sigCtx.Done():
+	}
+	stop()
+
+	// Nothing to flush — the nodes own all state. Just stop the probers and
+	// let in-flight requests finish.
+	fmt.Fprintln(os.Stderr, "pressr: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "pressr: clean exit")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pressr:", err)
+	os.Exit(1)
+}

@@ -168,6 +168,23 @@ func (v *View) MinDistance(a, b uint64) (float64, error) {
 	return v.eng.minDistanceUnits(da.units, db.units)
 }
 
+// MinDistanceWith answers MinDistance when the second trajectory is not in
+// this view's store — the cluster router ships the other owner's record
+// over the wire and the owning node computes against it here. Argument
+// order matches MinDistance(a, b): id is a, other is b, so a routed answer
+// is identical to the single-node one.
+func (v *View) MinDistanceWith(id uint64, other *core.Compressed) (float64, error) {
+	da, err := v.record(id)
+	if err != nil {
+		return 0, err
+	}
+	units, err := v.eng.units(other)
+	if err != nil {
+		return 0, err
+	}
+	return v.eng.minDistanceUnits(da.units, units)
+}
+
 // Summary returns the vehicle's BoundingSummary and the revision it
 // belongs to, the cheapest way possible: the store's persisted summary if
 // the record has one, then the memoized-summary cache, and only as a last

@@ -28,8 +28,18 @@
 //	                       without id: fleet-index-backed range over every
 //	                       stored vehicle -> {"ids":[..]}
 //	GET  /v1/mindistance   ?a=&b=           -> {"distance":..}
+//	POST /v1/mindistance   ?a=, body = a marshalled record -> {"distance":..};
+//	                       the cluster's cross-node hop: distance between
+//	                       owned vehicle a and a record another node shipped.
+//	GET  /v1/record        ?id=             -> the latest stored record,
+//	                       marshalled (application/octet-stream)
 //	GET  /v1/stats         SP source, session, store, per-endpoint latency
 //	GET  /healthz          liveness (never gated by the concurrency bound)
+//	GET  /readyz           readiness: 200 only while the node wants new work
+//	                       (drops at SetReady(false)/Shutdown; see cluster.go)
+//
+// In cluster mode (Options.Cluster) every id-keyed endpoint answers 421
+// Misdirected Request for vehicles owned by another node, naming the owner.
 //
 // Queries are answered from the store — a vehicle becomes queryable once
 // its session has flushed (explicit flush, idle timeout, memory cap, or
@@ -120,6 +130,10 @@ type Options struct {
 	// queries use the STR bulk-loaded index over every stored record,
 	// rebuilt whenever the store generation changes.
 	IncrementalIndex bool
+	// Cluster places this server in a static N-node partition (see
+	// ClusterOptions): id-keyed endpoints refuse vehicles another node owns
+	// with 421. The zero value is a single-node deployment.
+	Cluster ClusterOptions
 }
 
 // DefaultQueryCacheBytes is the decoded-trajectory cache budget when
@@ -156,6 +170,7 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	httpSrv  *http.Server
+	ready    atomic.Bool // /readyz bit; SetReady flips it ahead of a drain
 
 	view  *query.View  // single-vehicle queries + index verification
 	cache *query.Cache // nil = caching disabled
@@ -188,6 +203,9 @@ type Server struct {
 func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Engine == nil || cfg.Compressor == nil || cfg.Store == nil {
 		return nil, errors.New("server: nil component")
+	}
+	if err := cfg.Cluster.validate(); err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -262,11 +280,15 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.route("GET /v1/whenat", "whenat", s.handleWhenAt)
 	s.route("GET /v1/range", "range", s.handleRange)
 	s.route("GET /v1/mindistance", "mindistance", s.handleMinDistance)
+	s.route("POST /v1/mindistance", "mindistance_with", s.handleMinDistanceWith)
+	s.route("GET /v1/record", "record", s.handleRecord)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	// /metrics bypasses the concurrency bound like /healthz: scrapes must
-	// not be starved by query load.
+	// /readyz and /metrics bypass the concurrency bound like /healthz:
+	// probes and scrapes must not be starved by query load.
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -376,7 +398,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	srv := s.httpSrv
 	s.mu.Unlock()
-	s.hcancel() // unblock requests queued on the semaphore
+	s.ready.Store(false) // readiness drops first; liveness stays up
+	s.hcancel()          // unblock requests queued on the semaphore
 
 	var first error
 	if srv != nil {
@@ -502,6 +525,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad vehicle id")
 		return
 	}
+	if !s.checkOwner(w, id) {
+		return
+	}
 	if isWireRequest(r) {
 		// Content negotiation: a binary body on the per-vehicle endpoint
 		// must carry frames for exactly that vehicle.
@@ -583,6 +609,9 @@ func (s *Server) handleWhereAt(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.checkOwner(w, id) {
+		return
+	}
 	t, ok := parseFloat(w, r, "t")
 	if !ok {
 		return
@@ -598,6 +627,9 @@ func (s *Server) handleWhereAt(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWhenAt(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.vehicleID(w, r, "id")
 	if !ok {
+		return
+	}
+	if !s.checkOwner(w, id) {
 		return
 	}
 	x, ok := parseFloat(w, r, "x")
@@ -654,6 +686,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.checkOwner(w, id) {
+		return
+	}
 	hit, err := s.view.Range(id, t1, t2, mbr)
 	if err != nil {
 		writeQueryErr(w, id, err)
@@ -669,6 +704,12 @@ func (s *Server) handleMinDistance(w http.ResponseWriter, r *http.Request) {
 	}
 	b, ok := s.vehicleID(w, r, "b")
 	if !ok {
+		return
+	}
+	// In cluster mode both operands must live here; the router detects the
+	// cross-owner case from the 421 and ships b's record to a's owner via
+	// POST /v1/mindistance instead.
+	if !s.checkOwner(w, a) || !s.checkOwner(w, b) {
 		return
 	}
 	d, err := s.view.MinDistance(a, b)
@@ -699,6 +740,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // statsResponse is the /v1/stats document.
 type statsResponse struct {
 	SP       *SPInfo                    `json:"sp,omitempty"`
+	Cluster  *clusterStats              `json:"cluster,omitempty"`
 	Sessions sessionStats               `json:"sessions"`
 	Store    storeStats                 `json:"store"`
 	Query    queryStats                 `json:"query"`
@@ -745,6 +787,14 @@ func (s *Server) indexInfo() indexInfo {
 	}
 	s.idxMu.Unlock()
 	return indexInfo{Mode: "str", Len: n, Rebuilds: s.rebuilds.Load()}
+}
+
+// clusterStats is the /v1/stats cluster section, present only in cluster
+// mode: this node's place in the topology plus its readiness bit.
+type clusterStats struct {
+	Node  int  `json:"node"`
+	Nodes int  `json:"nodes"`
+	Ready bool `json:"ready"`
 }
 
 type sessionStats struct {
@@ -795,6 +845,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		info := s.cfg.SPInfo()
 		resp.SP = &info
 	}
+	if c := s.cfg.Cluster; c.enabled() {
+		resp.Cluster = &clusterStats{Node: c.NodeIndex, Nodes: c.Nodes, Ready: s.Ready()}
+	}
 	for name, m := range s.metrics {
 		resp.Endpoint[name] = m.summary()
 	}
@@ -814,6 +867,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	gauge("press_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	ready := 0.0
+	if s.Ready() {
+		ready = 1
+	}
+	gauge("press_ready", "Readiness bit (/readyz): 1 while the node accepts new work.", ready)
+	if c := s.cfg.Cluster; c.enabled() {
+		gauge("press_cluster_node", "This node's index in the static cluster topology.", float64(c.NodeIndex))
+		gauge("press_cluster_nodes", "Cluster size the node was booted with.", float64(c.Nodes))
+	}
 	gauge("press_sessions_active", "Open ingest sessions.", float64(s.mgr.Active()))
 	counter("press_sessions_flushed_total", "Session records appended to the store.", s.mgr.Flushed())
 	counter("press_ingest_points_total", "GPS observations accepted.", s.mgr.Pushes())
@@ -884,6 +946,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP press_request_duration_seconds_sum Cumulative request latency per endpoint.\n# TYPE press_request_duration_seconds_sum counter\n")
 	for _, name := range names {
 		fmt.Fprintf(&b, "press_request_duration_seconds_sum{endpoint=%q} %g\n", name, float64(s.metrics[name].totalNS.Load())/1e9)
+	}
+	// The same latency counters as a proper summary (sum/count pairs), so
+	// node and router latencies are comparable under one metric name and
+	// rate(sum)/rate(count) yields the mean without the bespoke metric
+	// above (kept for dashboard compatibility).
+	fmt.Fprintf(&b, "# HELP press_http_request_seconds Request latency per endpoint.\n# TYPE press_http_request_seconds summary\n")
+	for _, name := range names {
+		m := s.metrics[name]
+		fmt.Fprintf(&b, "press_http_request_seconds_sum{endpoint=%q} %g\n", name, float64(m.totalNS.Load())/1e9)
+		fmt.Fprintf(&b, "press_http_request_seconds_count{endpoint=%q} %d\n", name, m.count.Load())
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

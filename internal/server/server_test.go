@@ -968,9 +968,29 @@ func TestMetricsExposition(t *testing.T) {
 		"press_sp_kind{kind=\"snapshot\"} 1",
 		"# TYPE press_sp_mapped_bytes gauge",
 		"# TYPE press_sp_heap_bytes gauge",
+		// The per-endpoint latency counters /v1/stats reports must reach
+		// /metrics as a proper summary: one TYPE line, then _sum/_count
+		// pairs per endpoint label, so node and router latencies line up
+		// under a single metric name.
+		"# TYPE press_http_request_seconds summary",
+		"press_http_request_seconds_sum{endpoint=\"whereat\"} ",
+		"press_http_request_seconds_count{endpoint=\"whereat\"} 2",
+		"press_http_request_seconds_count{endpoint=\"metrics\"} ",
+		"press_ready 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The summary pair must appear for every instrumented endpoint, and the
+	// sum must be a parseable float strictly above zero for a served one.
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "press_http_request_seconds_sum{endpoint=\"whereat\"} ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil || v <= 0 {
+			t.Errorf("whereat latency sum %q not a positive float (%v)", line, err)
 		}
 	}
 }

@@ -124,6 +124,16 @@ func (s *Server) ingestWire(w http.ResponseWriter, r *http.Request, restrict *ui
 					fmt.Errorf("frame group for vehicle %d on /v1/ingest/%d", id, *restrict))
 				return
 			}
+			if restrict == nil && !s.owns(id) {
+				// Cluster mode: a bulk frame carrying another node's vehicle
+				// is misrouted — the router splits frames by owner, so this
+				// means the client's routing table is stale. Groups already
+				// applied stay applied (the 421 body names the owner, not the
+				// partial-progress counts; re-sending an applied point just
+				// extends its session, so replays are harmless).
+				s.writeMisrouted(w, id)
+				return
+			}
 			sc.obs = sc.obs[:0]
 			for it.Point(&o) {
 				sc.obs = append(sc.obs, stream.Obs{

@@ -455,6 +455,53 @@ func (m *Manager) FlushAll() error {
 	return first
 }
 
+// Checkpoint flushes every currently-open session to the sink WITHOUT
+// closing the manager: each flushed vehicle's next push simply opens a
+// fresh session, and the stored segments concatenate exactly as they do
+// after an idle flush or a session-cap cut. This is the drain/handoff hook
+// — a node leaving a cluster checkpoints so every acknowledged point is in
+// the (shared) store before the router re-routes its vehicles — and also
+// serves as a periodic durability bound for long-running trips.
+//
+// Sessions opened after the snapshot is taken are left alone. If ctx
+// expires mid-checkpoint the remaining sessions stay open and ctx's error
+// is returned alongside the count already flushed; nothing is discarded.
+// Like Flush, it refuses after Shutdown (ErrManagerClosed) or an external
+// lifetime-context cancellation. The returned count is the number of
+// sessions ended; the first flush error is returned but every session
+// within the deadline is attempted.
+func (m *Manager) Checkpoint(ctx context.Context) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return 0, ErrManagerClosed
+	}
+	if err := m.aborted(); err != nil {
+		return 0, err
+	}
+	var (
+		ended int
+		first error
+	)
+	for _, s := range m.snapshot() {
+		if err := ctx.Err(); err != nil {
+			if first == nil {
+				first = err
+			}
+			return ended, first // the rest stay open for the next checkpoint
+		}
+		if err := m.flushSession(s); err != nil && first == nil {
+			first = err
+		}
+		ended++
+	}
+	return ended, first
+}
+
 // Active returns the number of open sessions.
 func (m *Manager) Active() int {
 	m.mu.Lock()

@@ -859,3 +859,193 @@ func BenchmarkPushBatch(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(points), "ns/point")
 }
+
+// trajEvents flattens a trajectory into its replay-ordered event stream so
+// tests can cut it at an arbitrary point.
+type trajEvent struct {
+	isEdge bool
+	edge   roadnet.EdgeID
+	p      traj.Entry
+}
+
+func trajEvents(t *testing.T, tr *traj.Trajectory) []trajEvent {
+	t.Helper()
+	var evs []trajEvent
+	err := tr.Replay(
+		func(e roadnet.EdgeID) error {
+			evs = append(evs, trajEvent{isEdge: true, edge: e})
+			return nil
+		},
+		func(p traj.Entry) error {
+			evs = append(evs, trajEvent{p: p})
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// Checkpoint must flush every acknowledged point to the sink — each
+// checkpointed record byte-identical to an online compression of the same
+// prefix — while leaving the manager open: vehicles keep pushing afterwards
+// and their next segment flushes normally, exactly the session-cap cut
+// semantics.
+func TestCheckpointNoAcknowledgedPointLoss(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Three whole trips plus one vehicle cut mid-trip at the checkpoint.
+	for i := 0; i < 3; i++ {
+		feed(t, m, uint64(i), ds.Truth[i])
+	}
+	const cutID = 3
+	evs := trajEvents(t, ds.Truth[cutID])
+	if len(evs) < 4 {
+		t.Fatalf("trajectory too short to cut: %d events", len(evs))
+	}
+	half := len(evs) / 2
+	push := func(e trajEvent) {
+		var err error
+		if e.isEdge {
+			err = m.PushEdge(cutID, e.edge)
+		} else {
+			err = m.PushSample(cutID, e.p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range evs[:half] {
+		push(e)
+	}
+
+	n, err := m.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("Checkpoint ended %d sessions, want 4", n)
+	}
+	if m.Active() != 0 {
+		t.Fatalf("%d sessions still open after checkpoint", m.Active())
+	}
+
+	// Whole trips match their batch compression; the cut vehicle's record
+	// matches an online compressor fed exactly the acknowledged prefix.
+	for i := 0; i < 3; i++ {
+		want, err := comp.Compress(ds.Truth[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("vehicle %d: checkpointed bytes differ from batch", i)
+		}
+	}
+	segment := func(part []trajEvent) *core.Compressed {
+		oc, err := core.NewOnlineCompressor(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range part {
+			if e.isEdge {
+				oc.PushEdge(e.edge)
+			} else {
+				oc.PushSample(e.p)
+			}
+		}
+		ct, err := oc.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+	got, err := st.Get(cutID)
+	if err != nil {
+		t.Fatalf("get cut vehicle: %v", err)
+	}
+	if !bytes.Equal(got.Marshal(), segment(evs[:half]).Marshal()) {
+		t.Fatal("checkpointed prefix segment differs from online compression of the acknowledged points")
+	}
+
+	// The manager stays open: the cut vehicle resumes, its suffix becomes
+	// the next stored segment, and the prefix record remains durable below
+	// it (two live rows for the id).
+	for _, e := range evs[half:] {
+		push(e)
+	}
+	if err := m.Flush(cutID); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.Get(cutID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), segment(evs[half:]).Marshal()) {
+		t.Fatal("post-checkpoint segment differs from online compression of the suffix")
+	}
+	if got := m.Flushed(); got != 5 {
+		t.Fatalf("Flushed() = %d, want 5 (4 checkpointed + 1 resumed)", got)
+	}
+}
+
+// An expired context stops a checkpoint without discarding anything: the
+// remaining sessions stay open and flush intact on the next attempt.
+func TestCheckpointDeadlineLeavesSessionsOpen(t *testing.T) {
+	comp, ds, st := fixture(t)
+	m, err := NewManager(context.Background(), comp, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		feed(t, m, uint64(i), ds.Truth[i])
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := m.Checkpoint(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Checkpoint with cancelled ctx: n=%d err=%v", n, err)
+	}
+	if n != 0 {
+		t.Fatalf("cancelled checkpoint ended %d sessions", n)
+	}
+	if m.Active() != 4 {
+		t.Fatalf("Active() = %d after aborted checkpoint, want 4", m.Active())
+	}
+	n, err = m.Checkpoint(context.Background())
+	if err != nil || n != 4 {
+		t.Fatalf("retry checkpoint: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 4; i++ {
+		want, err := comp.Compress(ds.Truth[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("vehicle %d lost points across the aborted checkpoint", i)
+		}
+	}
+	if _, err := m.Checkpoint(context.Background()); err != nil {
+		t.Fatalf("empty checkpoint: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Checkpoint(context.Background()); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrManagerClosed", err)
+	}
+}

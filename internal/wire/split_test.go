@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"press/internal/traj"
+)
+
+// splitFrame is a test helper: parse one frame from data and split it.
+func splitFrame(t *testing.T, data []byte, n int, owner func(uint64) int) [][]byte {
+	t.Helper()
+	fr, err := NewReader(bytes.NewReader(data), 0).Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	out, err := fr.SplitByOwner(n, owner)
+	if err != nil {
+		t.Fatalf("SplitByOwner: %v", err)
+	}
+	return out
+}
+
+// Splitting a random frame across owners must (a) produce sub-frames that
+// each decode cleanly, (b) route every group to the owner the hash names,
+// (c) preserve per-owner group order, ids, flush flags and every point
+// value, and (d) cover the input exactly — no group lost or duplicated.
+func TestSplitByOwnerRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var e Encoder
+	for trial := 0; trial < 50; trial++ {
+		groups := randGroups(rng, 1+rng.Intn(12), 6)
+		data := encodeGroups(&e, groups)
+		n := 1 + rng.Intn(5)
+		owner := func(id uint64) int { return int(id % uint64(n)) }
+		parts := splitFrame(t, data, n, owner)
+
+		// Reassemble the decoded groups per owner and compare against the
+		// input filtered the same way.
+		for o := 0; o < n; o++ {
+			var want []obsGroup
+			for _, g := range groups {
+				if owner(g.id) == o {
+					want = append(want, g)
+				}
+			}
+			if len(want) == 0 {
+				if parts[o] != nil {
+					t.Fatalf("trial %d: owner %d got a frame for zero groups", trial, o)
+				}
+				continue
+			}
+			if parts[o] == nil {
+				t.Fatalf("trial %d: owner %d missing its frame (%d groups)", trial, o, len(want))
+			}
+			got := decodeAll(t, parts[o])
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: owner %d decoded %d groups, want %d", trial, o, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].id != want[i].id || got[i].flush != want[i].flush {
+					t.Fatalf("trial %d: owner %d group %d = (%d,%v), want (%d,%v)",
+						trial, o, i, got[i].id, got[i].flush, want[i].id, want[i].flush)
+				}
+				if len(got[i].obs) != len(want[i].obs) {
+					t.Fatalf("trial %d: owner %d group %d has %d points, want %d",
+						trial, o, i, len(got[i].obs), len(want[i].obs))
+				}
+				for j := range want[i].obs {
+					if got[i].obs[j] != want[i].obs[j] {
+						t.Fatalf("trial %d: owner %d group %d point %d = %+v, want %+v",
+							trial, o, i, j, got[i].obs[j], want[i].obs[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The split copies group byte ranges verbatim: a single-owner split must
+// reproduce the input frame's payload bytes exactly (header recomputed).
+func TestSplitByOwnerSingleOwnerByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var e Encoder
+	groups := randGroups(rng, 8, 5)
+	data := encodeGroups(&e, groups)
+	parts := splitFrame(t, data, 1, func(uint64) int { return 0 })
+	if !bytes.Equal(parts[0], data) {
+		t.Fatal("single-owner split is not byte-identical to the input frame")
+	}
+}
+
+// The returned sub-frames must be copies, still valid after the Reader's
+// buffer is reused for another frame.
+func TestSplitByOwnerCopies(t *testing.T) {
+	var e Encoder
+	e.StartGroup(3, true)
+	e.Edge(7)
+	first := append([]byte(nil), e.Finish()...)
+	e.Reset()
+	e.StartGroup(4, false)
+	e.Sample(traj.Entry{D: 9, T: 10})
+	second := e.Finish()
+
+	rd := NewReader(bytes.NewReader(append(append([]byte(nil), first...), second...)), 0)
+	fr, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := fr.SplitByOwner(2, func(id uint64) int { return int(id % 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != nil { // clobbers the reader buffer
+		t.Fatal(err)
+	}
+	got := decodeAll(t, parts[1])
+	if len(got) != 1 || got[0].id != 3 || !got[0].flush || len(got[0].obs) != 1 || got[0].obs[0].Edge != 7 {
+		t.Fatalf("sub-frame damaged after reader reuse: %+v", got)
+	}
+}
+
+// An owner function that disagrees with n is a caller bug, reported as a
+// plain error; structural payload damage keeps its typed ErrBadFrame.
+func TestSplitByOwnerErrors(t *testing.T) {
+	var e Encoder
+	e.StartGroup(1, false)
+	e.Edge(2)
+	data := e.Finish()
+	fr, err := NewReader(bytes.NewReader(data), 0).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.SplitByOwner(2, func(uint64) int { return 5 }); err == nil {
+		t.Fatal("out-of-range owner not rejected")
+	} else if errors.Is(err, ErrBadFrame) {
+		t.Fatalf("out-of-range owner misreported as frame damage: %v", err)
+	}
+	if _, err := fr.SplitByOwner(0, func(uint64) int { return 0 }); err == nil {
+		t.Fatal("zero owners not rejected")
+	}
+	// Structural damage: flip a point-kind byte inside a hand-built payload
+	// (bypassing the CRC by splitting a Frame constructed directly).
+	bad := Frame{payload: []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0xff}}
+	if _, err := bad.SplitByOwner(1, func(uint64) int { return 0 }); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad kind = %v, want ErrBadFrame", err)
+	}
+}

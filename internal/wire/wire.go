@@ -400,3 +400,86 @@ func (it *GroupIter) Point(o *Obs) bool {
 
 // Err returns the first structural error the walk hit, nil on a clean walk.
 func (it *GroupIter) Err() error { return it.err }
+
+// --- frame splitting (cluster router) ---
+
+// SplitByOwner re-partitions the frame's vehicle groups across n owners:
+// owner maps each group's vehicle id to an owner index in [0, n), and the
+// result holds one freshly framed (header + length + CRC) byte slice per
+// owner, nil for owners that received no groups. Group byte ranges are
+// copied verbatim — points are never re-encoded, so each sub-frame's groups
+// are byte-identical to the input's, in input order per owner. The cluster
+// router uses this to split one client bulk frame into the per-node
+// sub-frames it forwards.
+//
+// The returned slices are copies: they stay valid after the Reader that
+// produced the frame advances. Structural damage inside the payload
+// surfaces as ErrBadFrame (same walk as GroupIter); an owner index out of
+// range is a plain error — it means the caller's hash disagrees with n,
+// not that the frame is damaged.
+func (f Frame) SplitByOwner(n int, owner func(id uint64) int) ([][]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: SplitByOwner with %d owners", n)
+	}
+	payloads := make([][]byte, n)
+	rest := f.payload
+	for len(rest) > 0 {
+		if len(rest) < groupHeader {
+			return nil, fmt.Errorf("%w: short group header", ErrBadFrame)
+		}
+		id := binary.LittleEndian.Uint64(rest)
+		npts := binary.LittleEndian.Uint32(rest[8:])
+		flags := rest[12]
+		if flags&^flagFlush != 0 {
+			return nil, fmt.Errorf("%w: unknown group flags %#x", ErrBadFrame, flags)
+		}
+		// Walk the group's points to find its end; the same size rules
+		// GroupIter.Point enforces.
+		off := groupHeader
+		for p := uint32(0); p < npts; p++ {
+			if off >= len(rest) {
+				return nil, fmt.Errorf("%w: point truncated", ErrBadFrame)
+			}
+			kind := rest[off]
+			if kind == 0 || kind&^(kindEdge|kindSample) != 0 {
+				return nil, fmt.Errorf("%w: bad point kind %#x", ErrBadFrame, kind)
+			}
+			size := 1
+			if kind&kindEdge != 0 {
+				size += 4
+			}
+			if kind&kindSample != 0 {
+				size += 16
+			}
+			if off+size > len(rest) {
+				return nil, fmt.Errorf("%w: point truncated", ErrBadFrame)
+			}
+			off += size
+		}
+		o := owner(id)
+		if o < 0 || o >= n {
+			return nil, fmt.Errorf("wire: owner %d for vehicle %d out of range [0,%d)", o, id, n)
+		}
+		payloads[o] = append(payloads[o], rest[:off]...)
+		rest = rest[off:]
+	}
+	out := make([][]byte, n)
+	for i, p := range payloads {
+		if len(p) > 0 {
+			out[i] = frameAround(p)
+		}
+	}
+	return out, nil
+}
+
+// frameAround wraps an already-encoded payload in a fresh frame header.
+func frameAround(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[:4], Magic[:])
+	buf[4] = Version
+	buf[5] = FrameBatch
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}

@@ -49,6 +49,7 @@ import (
 	"runtime"
 	"time"
 
+	"press/internal/cluster"
 	"press/internal/core"
 	"press/internal/gen"
 	"press/internal/geo"
@@ -743,6 +744,50 @@ func (s *System) NewServer(ctx context.Context, st *ShardedFleetStore, opt Serve
 		Options:    opt,
 	})
 }
+
+// ClusterOptions places a Server in a static N-node partition: id-keyed
+// endpoints refuse vehicles owned by another node with 421 Misdirected
+// Request. Set it through ServerOptions.Cluster; the zero value is a
+// single-node deployment.
+type ClusterOptions = server.ClusterOptions
+
+// ClusterTopology is the static ordered node address list the cluster tier
+// routes over; every party (router, nodes, smart clients) must be built
+// from the same list in the same order.
+type ClusterTopology = cluster.Topology
+
+// ClusterRouter is the stateless scatter-gather front of a cluster: it
+// forwards single-vehicle traffic to the owning node by hash, splits bulk
+// wire frames per owner, fans fleet queries across all nodes with
+// partial-result reporting, and health-gates routing off each node's
+// /readyz. See internal/cluster and cmd/pressr.
+type ClusterRouter = cluster.Router
+
+// ClusterRouterOptions tunes a ClusterRouter (timeouts, retries, probe
+// cadence).
+type ClusterRouterOptions = cluster.Options
+
+// ParseClusterTopology parses a comma-separated address list (the -cluster
+// flag format); bare host:port entries get an http:// prefix.
+func ParseClusterTopology(list string) (*ClusterTopology, error) {
+	return cluster.ParseTopology(list)
+}
+
+// NewClusterTopology builds a topology from an explicit address slice.
+func NewClusterTopology(addrs []string) (*ClusterTopology, error) {
+	return cluster.NewTopology(addrs)
+}
+
+// NewClusterRouter assembles a router over topo and starts its health
+// probers; stop it with Shutdown/Close.
+func NewClusterRouter(topo *ClusterTopology, opt ClusterRouterOptions) (*ClusterRouter, error) {
+	return cluster.NewRouter(topo, opt)
+}
+
+// ClusterOwner returns the node index owning vehicle id in an n-node
+// cluster — store.ShardOf, the single ownership hash shared by the store's
+// shard files, the nodes' 421 checks and the router's forwarding.
+func ClusterOwner(id uint64, nodes int) int { return store.ShardOf(id, nodes) }
 
 // Decompress recovers a trajectory: the spatial path is exactly the
 // original, the temporal sequence is the (already usable) BTC output.
